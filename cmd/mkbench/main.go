@@ -1,0 +1,129 @@
+// Command mkbench regenerates the tables and figures of the paper's
+// evaluation on the simulated machines and prints them in the paper's
+// layout.
+//
+// Usage:
+//
+//	mkbench [-quick] [experiment ...]
+//
+// Experiments: fig3 tab1 tab2 tab3 fig6 fig7 fig8 tab4 fig9 sec54 poll
+// ablations, or "all" (the default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"multikernel/internal/expt"
+	"multikernel/internal/sim"
+	"multikernel/internal/stats"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run shortened parameter sweeps")
+	plot := flag.Bool("plot", true, "render ASCII plots for figures")
+	flag.Parse()
+
+	iters := 10
+	webWindow := sim.Time(40_000_000)
+	packets := 400
+	fig9Scale := 1.0
+	if *quick {
+		iters = 3
+		webWindow = 10_000_000
+		packets = 120
+		fig9Scale = 0.25
+	}
+
+	wants := flag.Args()
+	if len(wants) == 0 {
+		wants = []string{"all"}
+	}
+	want := func(name string) bool {
+		for _, w := range wants {
+			if w == name || w == "all" {
+				return true
+			}
+		}
+		return false
+	}
+
+	pw, ph := 0, 0
+	if *plot {
+		pw, ph = 72, 18
+	}
+	showFig := func(f *stats.Figure) {
+		fmt.Println(stats.RenderFigure(f, pw, ph))
+	}
+	showTab := func(t *stats.Table) {
+		fmt.Println(t.Render())
+	}
+
+	ran := 0
+	if want("fig3") {
+		showFig(expt.Fig3(iters))
+		ran++
+	}
+	if want("tab1") {
+		showTab(expt.Table1(24))
+		ran++
+	}
+	if want("tab2") {
+		showTab(expt.Table2(iters))
+		ran++
+	}
+	if want("tab3") {
+		showTab(expt.Table3(iters))
+		ran++
+	}
+	if want("fig6") {
+		showFig(expt.Fig6(iters))
+		ran++
+	}
+	if want("fig7") {
+		showFig(expt.Fig7(max(2, iters/2)))
+		ran++
+	}
+	if want("fig8") {
+		showFig(expt.Fig8(max(2, iters/2)))
+		ran++
+	}
+	if want("tab4") {
+		showTab(expt.Table4())
+		ran++
+	}
+	if want("fig9") {
+		for _, f := range expt.Fig9(fig9Scale) {
+			showFig(f)
+		}
+		ran++
+	}
+	if want("sec54") {
+		showTab(expt.Sec54(packets, webWindow))
+		ran++
+	}
+	if want("poll") {
+		showTab(expt.PollModel(6000))
+		ran++
+	}
+	if want("ablations") {
+		showTab(expt.AblationPrefetch(iters))
+		showTab(expt.AblationShootdownProtocols(max(2, iters/2)))
+		showTab(expt.AblationPipelineDepth(max(2, iters/2)))
+		showTab(expt.AblationPollWindow())
+		ran++
+	}
+	if want("extensions") {
+		showFig(expt.ExtScaling(max(2, iters/2)))
+		showTab(expt.ExtSharedReplica(max(2, iters/2)))
+		showTab(expt.ExtRunQueue(40))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from: fig3 tab1 tab2 tab3 fig6 fig7 fig8 tab4 fig9 sec54 poll ablations extensions all\n",
+			strings.Join(wants, " "))
+		os.Exit(2)
+	}
+}

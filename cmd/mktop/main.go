@@ -1,0 +1,43 @@
+// Command mktop prints the topology of each simulated test platform and the
+// NUMA-aware multicast trees the system knowledge base derives from it — the
+// routes behind Figure 6's best-performing shootdown protocol.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"multikernel/internal/sim"
+	"multikernel/internal/skb"
+	"multikernel/internal/topo"
+)
+
+func main() {
+	src := flag.Int("source", 0, "multicast tree source core")
+	flag.Parse()
+
+	for _, m := range topo.AllMachines() {
+		fmt.Printf("%v\n", m)
+		fmt.Printf("  links:")
+		for _, l := range m.Links {
+			fmt.Printf(" %d-%d", l.A, l.B)
+		}
+		fmt.Printf("\n  diameter: %d hops\n", m.MaxHops())
+		for s := 0; s < m.NSockets; s++ {
+			fmt.Printf("  socket %d: cores %v\n", s, m.CoresOf(topo.SocketID(s)))
+		}
+
+		kb := skb.New(m)
+		kb.Discover()
+		kb.Measure(func(a, b topo.CoreID) sim.Time { return 2*m.TransferLat(b, a) + 160 })
+		if *src < m.NumCores() {
+			tree := kb.MulticastTree(topo.CoreID(*src), nil)
+			fmt.Printf("  multicast tree from core %d (latency-descending):\n", *src)
+			for _, g := range tree.Groups {
+				fmt.Printf("    agg core %-2d (lat %4d cycles) -> children %v\n", g.Agg, g.Latency, g.Children)
+			}
+			fmt.Printf("    local children: %v\n", tree.Local)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,80 @@
+// hotplug demonstrates the §3.3 claim that replication makes changes to the
+// running core set natural: cores are powered off to save energy, the
+// replicated membership view updates everywhere through the same agreement
+// machinery as TLB shootdown, coordinated operations transparently skip the
+// sleeping cores, and the cores rejoin later without disturbing the system.
+package main
+
+import (
+	"fmt"
+
+	"multikernel"
+	"multikernel/internal/sim"
+	"multikernel/internal/topo"
+	"multikernel/internal/vm"
+)
+
+func main() {
+	m := multikernel.AMD8x4()
+	e := multikernel.NewEngine(3)
+	sys := multikernel.Boot(e, m)
+	fmt.Printf("booted on %v\n\n", m)
+
+	e.Spawn("init", func(p *sim.Proc) {
+		dom, err := sys.NewDomain(p, "app", multikernel.AllCores(m))
+		if err != nil {
+			panic(err)
+		}
+		va, _ := dom.MapAnon(p, 0, vm.PageSize, vm.Read|vm.Write)
+		for _, c := range dom.Team.Cores() {
+			dom.Space.Access(p, c, va, false, 0)
+		}
+
+		unmapAll := func(label string) {
+			va2, _ := dom.MapAnon(p, 0, vm.PageSize, vm.Read|vm.Write)
+			start := p.Now()
+			if err := dom.Unmap(p, 0, va2, vm.PageSize, multikernel.NUMAAware); err != nil {
+				panic(err)
+			}
+			online := 0
+			for c := 0; c < m.NumCores(); c++ {
+				if sys.Net.Monitor(0).Online(topo.CoreID(c)) {
+					online++
+				}
+			}
+			fmt.Printf("%-28s unmap across %2d online cores: %6d cycles\n",
+				label, online, p.Now()-start)
+		}
+
+		unmapAll("all 32 cores online:")
+
+		// Power down socket 7 (cores 28-31) to save energy.
+		for _, victim := range []topo.CoreID{28, 29, 30, 31} {
+			if err := sys.Net.PowerOff(p, 0, victim); err != nil {
+				panic(err)
+			}
+		}
+		fmt.Println("\npowered off socket 7 (cores 28-31)")
+		unmapAll("socket 7 sleeping:")
+
+		// Half the machine down.
+		for c := topo.CoreID(16); c < 28; c++ {
+			if err := sys.Net.PowerOff(p, 0, c); err != nil {
+				panic(err)
+			}
+		}
+		fmt.Println("\npowered off cores 16-27 as well")
+		unmapAll("16 cores sleeping:")
+
+		// Bring everything back.
+		for c := topo.CoreID(16); c < 32; c++ {
+			if err := sys.Net.PowerOn(p, 0, c); err != nil {
+				panic(err)
+			}
+		}
+		fmt.Println("\nall cores powered back on")
+		unmapAll("after rejoin:")
+	})
+	e.Run()
+	e.Close()
+}

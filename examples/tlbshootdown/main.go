@@ -1,0 +1,61 @@
+// tlbshootdown compares the four TLB-shootdown dissemination protocols of
+// the paper's Figure 6 (broadcast, unicast, multicast, NUMA-aware multicast)
+// on the 8×4-core AMD system, and then shows the full unmap path against the
+// monolithic-kernel comparators — a miniature of Figures 6 and 7.
+package main
+
+import (
+	"fmt"
+
+	"multikernel/internal/baseline"
+	"multikernel/internal/expt"
+	"multikernel/internal/monitor"
+	"multikernel/internal/sim"
+	"multikernel/internal/topo"
+)
+
+func main() {
+	m := topo.AMD8x4()
+	fmt.Printf("raw shootdown messaging on %v\n\n", m)
+	fmt.Printf("%8s %12s %12s %12s %12s\n", "cores", "broadcast", "unicast", "multicast", "numa-aware")
+	for _, n := range []int{4, 8, 16, 24, 32} {
+		fmt.Printf("%8d", n)
+		for _, proto := range []monitor.Protocol{monitor.Broadcast, monitor.Unicast, monitor.Multicast, monitor.NUMAAware} {
+			fmt.Printf(" %12.0f", monitor.RawShootdownLatency(m, proto, n, 5))
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\nfull unmap latency (cycles), message-based vs. serial IPIs:\n\n")
+	fmt.Printf("%8s %12s %12s %12s\n", "cores", "barrelfish", "linux", "windows")
+	for _, n := range []int{4, 16, 32} {
+		bf := unmapBF(m, n)
+		lx := unmapBase(m, baseline.Linux, n)
+		wn := unmapBase(m, baseline.Windows, n)
+		fmt.Printf("%8d %12.0f %12.0f %12.0f\n", n, bf, lx, wn)
+	}
+	fmt.Println("\nthe crossover is the paper's Figure 7 result: constant-ish message")
+	fmt.Println("tree cost beats linearly-growing serial IPIs as cores increase.")
+}
+
+func unmapBF(m *topo.Machine, n int) float64 {
+	return expt.UnmapLatencyBF(m, n, 3)
+}
+
+func unmapBase(m *topo.Machine, fl baseline.Flavor, n int) float64 {
+	env := expt.NewEnv(m, 1)
+	defer env.Close()
+	k := baseline.New(env.E, env.Sys, env.Kern, fl)
+	var total sim.Time
+	env.E.Spawn("bench", func(p *sim.Proc) {
+		targets := env.Cores(n)
+		k.Unmap(p, 0, targets)
+		start := p.Now()
+		for i := 0; i < 3; i++ {
+			k.Unmap(p, 0, targets)
+		}
+		total = (p.Now() - start) / 3
+	})
+	env.E.Run()
+	return float64(total)
+}

@@ -1,0 +1,3 @@
+module multikernel
+
+go 1.24

@@ -1,0 +1,554 @@
+// Package cache models the cache hierarchy and MOESI coherence protocol of a
+// simulated machine. It is the mechanism behind every microbenchmark in the
+// paper: shared-memory updates, URPC message transfer, TLB-shootdown
+// messaging and loopback networking all reduce to sequences of coherent
+// loads and stores whose latency, queuing and interconnect traffic this
+// package computes.
+//
+// The model is line-granular and infinite-capacity (the evaluation's working
+// sets are tiny; coherence misses, not capacity misses, dominate). Each line
+// tracks a holder set and an owner, and carries a FIFO transfer queue: a
+// coherence transaction occupies the line for its duration, so contended
+// lines serialize requesters — the effect that makes shared-memory updates
+// degrade linearly with core count (paper Figure 3).
+package cache
+
+import (
+	"fmt"
+
+	"multikernel/internal/interconnect"
+	"multikernel/internal/memory"
+	"multikernel/internal/sim"
+	"multikernel/internal/topo"
+)
+
+// maxCores bounds the holder bitmask width.
+const maxCores = 64
+
+// State is a MOESI line state as seen by one cache.
+type State uint8
+
+// MOESI states.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Owned
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Owned:
+		return "O"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// line is the global directory entry for one cache line.
+type line struct {
+	holders uint64      // bitmask of cores with a valid copy
+	owner   topo.CoreID // core in M/O/E state, or -1
+	dirty   bool        // owner holds M or O (memory stale)
+	// xferStore marks the current/most recent occupancy of res as an
+	// ownership (store) transfer: a reader that queued behind it receives
+	// the line by cache-to-cache forwarding at a discount, rather than
+	// launching a fresh fetch — requests outstanding at the home node are
+	// answered as soon as the writer's transaction completes.
+	xferStore bool
+	res       *sim.Resource
+}
+
+// forwardLat is the cost of the directory forwarding a line to a reader
+// whose request was already queued when the writer's transfer completed.
+const forwardLat = 90
+
+func (l *line) holds(c topo.CoreID) bool { return l.holders&(1<<uint(c)) != 0 }
+
+// Stats are per-core access counters.
+type Stats struct {
+	Hits         uint64
+	Misses       uint64 // all fills, local or remote
+	RemoteMisses uint64 // fills served across the interconnect
+	Upgrades     uint64 // write upgrades that invalidated other copies
+	Invalidated  uint64 // times this core's copy was invalidated by others
+}
+
+// System is the coherent cache system of one machine.
+type System struct {
+	mach  *topo.Machine
+	mem   *memory.Memory
+	fab   *interconnect.Fabric
+	eng   *sim.Engine
+	lines map[memory.LineID]*line
+	stats []Stats
+
+	// dirFree models each socket's home-node directory/memory-controller as
+	// a virtual-time server: every coherence transaction on a line homed at
+	// socket S occupies S's directory for dirService cycles. When many cores
+	// hammer lines with a common home, the directory saturates and waits
+	// grow linearly with the number of requesters — the dominant effect in
+	// Figure 3's shared-memory curves and one of the reasons NUMA-aware
+	// buffer placement (spreading homes across sockets) wins in Figure 6.
+	dirFree []sim.Time
+
+	// inflight counts each core's outstanding asynchronous store misses;
+	// when the store buffer / MSHR budget is exhausted, further store misses
+	// stall synchronously — the effect that makes tight loops of contended
+	// writes expensive (Figure 3) while isolated message sends stay cheap.
+	inflight []int
+
+	// touch tracking for "cache lines used" measurements (paper Table 3)
+	tracking bool
+	touched  map[memory.LineID]bool
+}
+
+// maxInflightStores is the per-core store-miss MSHR budget.
+const maxInflightStores = 4
+
+// dirService is the home directory's per-transaction service time.
+const dirService = 48
+
+// handoffLat is the per-requester service time of a contended line: once
+// ownership requests are queued at the home node, the line is forwarded
+// cache-to-cache down the queue in a pipeline, so each writer in an
+// N-writer convoy waits roughly N×handoffLat rather than N full round
+// trips. This is the slope of Figure 3's SHM curves (~100 cycles per
+// contending core per line).
+const handoffLat = 100
+
+// New returns a cache system over the given memory and fabric.
+func New(e *sim.Engine, m *topo.Machine, mem *memory.Memory, fab *interconnect.Fabric) *System {
+	if m.NumCores() > maxCores {
+		panic(fmt.Sprintf("cache: machine has %d cores; model supports at most %d", m.NumCores(), maxCores))
+	}
+	return &System{
+		mach:     m,
+		mem:      mem,
+		fab:      fab,
+		eng:      e,
+		lines:    make(map[memory.LineID]*line),
+		stats:    make([]Stats, m.NumCores()),
+		dirFree:  make([]sim.Time, m.NSockets),
+		inflight: make([]int, m.NumCores()),
+	}
+}
+
+// dirDelay books one transaction at the home directory of the line
+// containing a and returns the queuing delay before it can be serviced.
+func (s *System) dirDelay(a memory.Addr) sim.Time {
+	home := s.mem.Home(a)
+	now := s.eng.Now()
+	start := now
+	if s.dirFree[home] > start {
+		start = s.dirFree[home]
+	}
+	s.dirFree[home] = start + dirService
+	return start - now
+}
+
+// Machine returns the underlying machine.
+func (s *System) Machine() *topo.Machine { return s.mach }
+
+// Memory returns the underlying memory.
+func (s *System) Memory() *memory.Memory { return s.mem }
+
+// Fabric returns the underlying interconnect fabric.
+func (s *System) Fabric() *interconnect.Fabric { return s.fab }
+
+// Stats returns a copy of core c's counters.
+func (s *System) Stats(c topo.CoreID) Stats { return s.stats[c] }
+
+// ResetStats zeroes all per-core counters.
+func (s *System) ResetStats() {
+	for i := range s.stats {
+		s.stats[i] = Stats{}
+	}
+}
+
+// StartTouchTracking begins recording the set of distinct lines accessed
+// (by any core). Used to measure cache-footprint figures like Table 3.
+func (s *System) StartTouchTracking() {
+	s.tracking = true
+	s.touched = make(map[memory.LineID]bool)
+}
+
+// StopTouchTracking ends recording and returns the number of distinct lines
+// touched since StartTouchTracking.
+func (s *System) StopTouchTracking() int {
+	s.tracking = false
+	n := len(s.touched)
+	s.touched = nil
+	return n
+}
+
+func (s *System) lineFor(a memory.Addr) *line {
+	id := a.Line()
+	l := s.lines[id]
+	if l == nil {
+		l = &line{owner: -1, res: sim.NewResource(s.eng, 1)}
+		s.lines[id] = l
+	}
+	if s.tracking {
+		s.touched[id] = true
+	}
+	return l
+}
+
+// StateOf returns core c's MOESI state for the line containing a. Intended
+// for tests and invariant checks.
+func (s *System) StateOf(c topo.CoreID, a memory.Addr) State {
+	l := s.lines[a.Line()]
+	if l == nil || !l.holds(c) {
+		return Invalid
+	}
+	if l.owner == c {
+		others := l.holders &^ (1 << uint(c))
+		if l.dirty {
+			if others == 0 {
+				return Modified
+			}
+			return Owned
+		}
+		if others == 0 {
+			return Exclusive
+		}
+		return Shared
+	}
+	return Shared
+}
+
+// chargeFill accounts fabric traffic for a line fill from src (core or
+// memory home socket) to dst core.
+func (s *System) chargeFill(dst topo.CoreID, srcSocket topo.SocketID) {
+	d := s.mach.Socket(dst)
+	if d == srcSocket {
+		return
+	}
+	s.fab.Charge(d, srcSocket, interconnect.DwordsProbe)
+	s.fab.Charge(srcSocket, d, interconnect.DwordsData)
+}
+
+// fill obtains a readable copy of the line for core c, returning the fill
+// latency. The line's transfer queue must already be held.
+func (s *System) fill(c topo.CoreID, a memory.Addr, l *line) sim.Time {
+	s.stats[c].Misses++
+	var lat sim.Time
+	if l.owner >= 0 && l.owner != c {
+		// Fetch from the owning cache; MOESI keeps the dirty copy in-cache
+		// (owner degrades M->O) rather than writing back. On a
+		// HyperTransport-style fabric the request is routed via the line's
+		// home node, so distance to the home adds latency — the effect
+		// NUMA-aware buffer placement exploits (§5.1).
+		lat = s.mach.TransferLat(c, l.owner) + s.homePenalty(c, a)
+		if !s.mach.SameSocket(c, l.owner) {
+			s.stats[c].RemoteMisses++
+		}
+		s.chargeFill(c, s.mach.Socket(l.owner))
+	} else if l.holders != 0 && !l.holds(c) {
+		// Shared copies exist but no owner: memory is current.
+		home := s.mem.Home(a)
+		lat = s.mach.MemLat(c, home)
+		s.stats[c].RemoteMisses++
+		s.chargeFill(c, home)
+	} else {
+		home := s.mem.Home(a)
+		lat = s.mach.MemLat(c, home)
+		s.chargeFill(c, home)
+	}
+	l.holders |= 1 << uint(c)
+	if l.owner < 0 {
+		// First holder becomes owner (E); an existing dirty owner keeps
+		// ownership (now O with sharers).
+		l.owner = c
+		l.dirty = false
+	}
+	return lat
+}
+
+// homePenalty is the extra cost of routing a cross-socket transaction on the
+// line containing a via its home node.
+func (s *System) homePenalty(c topo.CoreID, a memory.Addr) sim.Time {
+	hr := s.mach.Costs.HomeRoute
+	if hr == 0 {
+		return 0
+	}
+	return sim.Time(s.mach.Hops(s.mach.Socket(c), s.mem.Home(a))) * hr
+}
+
+// invalidateOthers removes all copies except core c's, returning the probe
+// latency (to the furthest current holder) plus home routing.
+func (s *System) invalidateOthers(c topo.CoreID, a memory.Addr, l *line) sim.Time {
+	var lat sim.Time
+	others := l.holders &^ (1 << uint(c))
+	if others == 0 {
+		return 0
+	}
+	s.stats[c].Upgrades++
+	for h := topo.CoreID(0); int(h) < s.mach.NumCores(); h++ {
+		if others&(1<<uint(h)) == 0 {
+			continue
+		}
+		s.stats[h].Invalidated++
+		if t := s.mach.TransferLat(c, h); t > lat {
+			lat = t
+		}
+		hs, cs := s.mach.Socket(h), s.mach.Socket(c)
+		if hs != cs {
+			s.fab.Charge(cs, hs, interconnect.DwordsProbe)
+			s.fab.Charge(hs, cs, interconnect.DwordsAck)
+		}
+	}
+	l.holders = 1 << uint(c)
+	l.owner = c
+	if lat > 0 {
+		lat += s.homePenalty(c, a)
+	}
+	return lat
+}
+
+// Load reads the word at a from core c, charging coherence latency to p.
+func (s *System) Load(p *sim.Proc, c topo.CoreID, a memory.Addr) uint64 {
+	l := s.lineFor(a)
+	if l.holds(c) {
+		s.stats[c].Hits++
+		p.Sleep(s.mach.Costs.L1Hit)
+		return s.mem.LoadWord(a)
+	}
+	// contended: other requesters already queued beyond any single in-flight
+	// transfer — the NACK/retry regime at the home directory.
+	contended := l.res.QueueLen() > 0
+	queuedBehindStore := !l.res.TryAcquire()
+	if queuedBehindStore {
+		l.res.Acquire(p)
+		queuedBehindStore = l.xferStore
+	}
+	var lat sim.Time
+	if l.holds(c) {
+		// Filled by someone while we queued (e.g. broadcast read): hit now.
+		s.stats[c].Hits++
+		lat = s.mach.Costs.L1Hit
+	} else {
+		lat = s.fill(c, a, l)
+		if queuedBehindStore && lat > forwardLat {
+			lat = forwardLat
+		}
+		if contended {
+			lat += s.dirDelay(a)
+		}
+	}
+	l.xferStore = false
+	p.Sleep(lat)
+	l.res.Release()
+	return s.mem.LoadWord(a)
+}
+
+// Store writes the word at a from core c.
+//
+// An uncontended store miss is asynchronous: the store buffer issues the
+// ownership request and the core continues after a small issue cost, while
+// the line stays "in transfer" (its FIFO queue held) for the transaction
+// latency — any other core touching it queues behind the transfer. A store
+// to a line that is already mid-transfer stalls the full, queued latency.
+// This split is what makes uncontended message sends cheap for the sender
+// while heavily-shared data structures degrade linearly with writer count
+// (paper Figures 3 and 6).
+func (s *System) Store(p *sim.Proc, c topo.CoreID, a memory.Addr, v uint64) {
+	l := s.lineFor(a)
+	if l.holds(c) && l.owner == c && l.holders == 1<<uint(c) && l.res.QueueLen() == 0 {
+		// Exclusive or Modified with no rival request queued: silent upgrade.
+		// If another core's ownership request is already waiting, the line
+		// is about to be taken away, so the store must join the queue like
+		// any other requester rather than starving the rivals.
+		s.stats[c].Hits++
+		l.dirty = true
+		p.Sleep(s.mach.Costs.Store)
+		s.mem.StoreWord(a, v)
+		return
+	}
+	if s.inflight[c] < maxInflightStores && l.res.TryAcquire() {
+		// Uncontended and within the store-buffer budget: issue
+		// asynchronously. State changes take effect now (the directory
+		// reflects the in-flight transaction); the line is released when the
+		// transfer completes.
+		lat := s.ownershipLat(p, c, a, l)
+		l.dirty = true
+		l.xferStore = true
+		s.mem.StoreWord(a, v)
+		s.inflight[c]++
+		s.eng.After(lat, func() {
+			s.inflight[c]--
+			l.res.Release()
+		})
+		p.Sleep(s.mach.Costs.StoreIssue)
+		return
+	}
+	// Contended: queue behind in-flight transfers. Having waited in the
+	// pipeline, the requester receives the line as a direct handoff rather
+	// than launching a fresh full-latency transaction; with multiple rivals
+	// queued, the home directory's NACK/retry service adds on top.
+	waited := l.res.InUse()+l.res.QueueLen() > 0
+	l.res.Acquire(p)
+	lat := s.ownershipLat(p, c, a, l)
+	if waited && lat > handoffLat {
+		lat = handoffLat + s.dirDelay(a)
+	}
+	l.dirty = true
+	l.xferStore = true
+	p.Sleep(lat)
+	l.xferStore = false
+	l.res.Release()
+	s.mem.StoreWord(a, v)
+}
+
+// ownershipLat performs the directory updates for core c taking exclusive
+// ownership of the line and returns the transaction latency.
+func (s *System) ownershipLat(p *sim.Proc, c topo.CoreID, a memory.Addr, l *line) sim.Time {
+	var lat sim.Time
+	if !l.holds(c) {
+		lat = s.fill(c, a, l)
+	}
+	if inval := s.invalidateOthers(c, a, l); inval > lat {
+		lat = inval
+	}
+	if lat == 0 {
+		lat = s.mach.Costs.Store
+		return lat
+	}
+	// Every ownership transfer is serviced by the line's home directory;
+	// when many writers hammer lines with a common home, the directory
+	// saturates and per-write cost grows with the writer count (Figure 3).
+	return lat + s.dirDelay(a)
+}
+
+// RMW performs an atomic read-modify-write (lock-prefixed instruction) on
+// the word at a: the line is held exclusively for the whole operation, so
+// concurrent RMWs on one line serialize in FIFO order — the cost structure
+// of contended spinlocks and barrier counters.
+func (s *System) RMW(p *sim.Proc, c topo.CoreID, a memory.Addr, fn func(uint64) uint64) uint64 {
+	l := s.lineFor(a)
+	waited := l.res.InUse()+l.res.QueueLen() > 0
+	l.res.Acquire(p)
+	lat := s.ownershipLat(p, c, a, l)
+	if waited && lat > handoffLat {
+		lat = handoffLat + s.dirDelay(a)
+	}
+	l.dirty = true
+	p.Sleep(lat)
+	v := fn(s.mem.LoadWord(a))
+	s.mem.StoreWord(a, v)
+	l.res.Release()
+	return v
+}
+
+// StoreLine writes a full cache line as one ownership acquisition followed by
+// a burst of word stores — the URPC sender's "write the message sequentially
+// into the line" fast path (§4.6).
+func (s *System) StoreLine(p *sim.Proc, c topo.CoreID, a memory.Addr, vals [memory.WordsPerLine]uint64) {
+	base := a.Line().Base()
+	s.Store(p, c, base, vals[0])
+	// Remaining words are hits in the now-exclusive line.
+	p.Sleep(s.mach.Costs.Store * sim.Time(memory.WordsPerLine-1))
+	s.stats[c].Hits += memory.WordsPerLine - 1
+	for i := 1; i < memory.WordsPerLine; i++ {
+		s.mem.StoreWord(base+memory.Addr(i*8), vals[i])
+	}
+}
+
+// LoadLine reads a full cache line: one fill (or hit) plus word reads.
+func (s *System) LoadLine(p *sim.Proc, c topo.CoreID, a memory.Addr) [memory.WordsPerLine]uint64 {
+	base := a.Line().Base()
+	s.Load(p, c, base)
+	p.Sleep(s.mach.Costs.L1Hit * sim.Time(memory.WordsPerLine-1))
+	s.stats[c].Hits += memory.WordsPerLine - 1
+	return s.mem.LoadLine(base)
+}
+
+// Prefetch starts bringing the line at a into core c's cache. It models a
+// non-binding software prefetch: the line state changes as for a load, but
+// the caller is charged only the issue cost, not the fill latency.
+func (s *System) Prefetch(p *sim.Proc, c topo.CoreID, a memory.Addr) {
+	l := s.lineFor(a)
+	if l.holds(c) {
+		p.Sleep(1)
+		return
+	}
+	if l.res.TryAcquire() {
+		s.fill(c, a, l)
+		l.res.Release()
+	}
+	p.Sleep(1)
+}
+
+// Flush removes core c's copy of the line containing a (clflush-style),
+// writing back if dirty. Used by device DMA models.
+func (s *System) Flush(p *sim.Proc, c topo.CoreID, a memory.Addr) {
+	l := s.lines[a.Line()]
+	if l == nil || !l.holds(c) {
+		p.Sleep(1)
+		return
+	}
+	l.holders &^= 1 << uint(c)
+	if l.owner == c {
+		l.owner = -1
+		if l.dirty {
+			l.dirty = false
+			home := s.mem.Home(a)
+			if cs := s.mach.Socket(c); cs != home {
+				s.fab.Charge(cs, home, interconnect.DwordsData)
+			}
+			p.Sleep(s.mach.MemLat(c, s.mem.Home(a)))
+			return
+		}
+	}
+	p.Sleep(1)
+}
+
+// DMAWrite models a device writing bytes to memory: all cached copies of the
+// affected lines are invalidated (devices are not coherent participants in
+// this model) and the data lands in memory.
+func (s *System) DMAWrite(a memory.Addr, b []byte, devSocket topo.SocketID) {
+	s.mem.StoreBytes(a, b)
+	first := a.Line()
+	last := (a + memory.Addr(len(b)) - 1).Line()
+	for id := first; id <= last; id++ {
+		if l := s.lines[id]; l != nil {
+			for h := topo.CoreID(0); int(h) < s.mach.NumCores(); h++ {
+				if l.holds(h) {
+					s.stats[h].Invalidated++
+				}
+			}
+			l.holders = 0
+			l.owner = -1
+			l.dirty = false
+		}
+		home := s.mem.Home(id.Base())
+		if home != devSocket {
+			s.fab.Charge(devSocket, home, interconnect.DwordsData)
+		}
+	}
+}
+
+// CheckInvariants panics if any line violates the MOESI single-owner rules.
+// Tests call this after workloads.
+func (s *System) CheckInvariants() {
+	for id, l := range s.lines {
+		if l.owner >= 0 && !l.holds(l.owner) {
+			panic(fmt.Sprintf("cache: line %#x owner %d not a holder", id, l.owner))
+		}
+		if l.dirty && l.owner < 0 {
+			panic(fmt.Sprintf("cache: line %#x dirty without owner", id))
+		}
+		if l.owner < 0 && l.dirty {
+			panic(fmt.Sprintf("cache: line %#x dirty with no owner", id))
+		}
+	}
+}

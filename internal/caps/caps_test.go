@@ -1,0 +1,286 @@
+package caps
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"multikernel/internal/memory"
+)
+
+func ramRoot(cs *CSpace, base memory.Addr, bytes uint64) Ref {
+	return cs.AddRoot(Capability{Type: RAM, Base: base, Bytes: bytes, Rights: AllRights})
+}
+
+func TestRetypeProducesDisjointChildren(t *testing.T) {
+	cs := NewCSpace("core0")
+	root := ramRoot(cs, 0x10000, 16*4096)
+	refs, err := cs.Retype(root, Frame, 0, 4096, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 4 {
+		t.Fatalf("got %d refs", len(refs))
+	}
+	for i, r := range refs {
+		c := cs.MustGet(r)
+		if c.Type != Frame || c.Bytes != 4096 {
+			t.Fatalf("child %d = %v", i, c)
+		}
+		if c.Base != 0x10000+memory.Addr(i*4096) {
+			t.Fatalf("child %d base %#x", i, uint64(c.Base))
+		}
+		for j, r2 := range refs {
+			if i != j && c.Overlaps(cs.MustGet(r2)) {
+				t.Fatalf("children %d and %d overlap", i, j)
+			}
+		}
+	}
+	if !cs.HasDescendants(root) {
+		t.Fatal("root should have descendants")
+	}
+}
+
+func TestRetypeRefusedWithLiveDescendants(t *testing.T) {
+	cs := NewCSpace("c")
+	root := ramRoot(cs, 0, 8*4096)
+	if _, err := cs.Retype(root, Frame, 0, 4096, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Retype(root, PageTable, 4, 4096, 1); !errors.Is(err, ErrHasChildren) {
+		t.Fatalf("second retype err=%v, want ErrHasChildren", err)
+	}
+}
+
+func TestRetypeAfterRevokeSucceeds(t *testing.T) {
+	cs := NewCSpace("c")
+	root := ramRoot(cs, 0, 8*4096)
+	if _, err := cs.Retype(root, Frame, 0, 4096, 2); err != nil {
+		t.Fatal(err)
+	}
+	n, err := cs.Revoke(root)
+	if err != nil || n != 2 {
+		t.Fatalf("revoke=%d,%v", n, err)
+	}
+	if _, err := cs.Retype(root, PageTable, 4, 4096, 1); err != nil {
+		t.Fatalf("retype after revoke: %v", err)
+	}
+}
+
+func TestRetypeOnlyFromRAM(t *testing.T) {
+	cs := NewCSpace("c")
+	root := ramRoot(cs, 0, 8*4096)
+	refs, _ := cs.Retype(root, Frame, 0, 4096, 1)
+	if _, err := cs.Retype(refs[0], Frame, 0, 4096, 1); !errors.Is(err, ErrNotRetypable) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestRetypeSizeChecks(t *testing.T) {
+	cs := NewCSpace("c")
+	root := ramRoot(cs, 0, 4096)
+	if _, err := cs.Retype(root, Frame, 0, 4096, 2); !errors.Is(err, ErrTooSmall) {
+		t.Fatalf("overcommit err=%v", err)
+	}
+	if _, err := cs.Retype(root, Frame, 0, 100, 1); !errors.Is(err, ErrBadObject) {
+		t.Fatalf("unaligned err=%v", err)
+	}
+	if _, err := cs.Retype(root, PageTable, 9, 4096, 1); !errors.Is(err, ErrBadObject) {
+		t.Fatalf("bad level err=%v", err)
+	}
+	if _, err := cs.Retype(root, Dispatcher, 0, 512, 1); !errors.Is(err, ErrBadObject) {
+		t.Fatalf("bad dispatcher size err=%v", err)
+	}
+}
+
+func TestCopyAndMintRights(t *testing.T) {
+	cs := NewCSpace("c")
+	root := ramRoot(cs, 0, 4096)
+	refs, _ := cs.Retype(root, Frame, 0, 4096, 1)
+	dup, err := cs.Copy(refs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.MustGet(dup) != cs.MustGet(refs[0]) {
+		t.Fatal("copy differs from original")
+	}
+	ro, err := cs.Mint(refs[0], CanRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.MustGet(ro).Rights != CanRead {
+		t.Fatal("minted rights wrong")
+	}
+	if _, err := cs.Mint(ro, CanRead|CanWrite); !errors.Is(err, ErrNoGrant) {
+		// ro lost CanGrant, so minting from it fails before the grow check.
+		t.Fatalf("err=%v", err)
+	}
+	if _, err := cs.Mint(refs[0], AllRights|0x10); !errors.Is(err, ErrRightsGrow) {
+		t.Fatalf("rights-grow err=%v", err)
+	}
+}
+
+func TestCopyRequiresGrant(t *testing.T) {
+	cs := NewCSpace("c")
+	r := cs.AddRoot(Capability{Type: Frame, Base: 0, Bytes: 4096, Rights: CanRead | CanWrite})
+	if _, err := cs.Copy(r); !errors.Is(err, ErrNoGrant) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestRevokeRemovesWholeSubtree(t *testing.T) {
+	cs := NewCSpace("c")
+	root := ramRoot(cs, 0, 64*1024)
+	frames, _ := cs.Retype(root, Frame, 0, 4096, 2)
+	c1, _ := cs.Copy(frames[0])
+	c2, _ := cs.Copy(c1)
+	before := cs.Len()
+	n, err := cs.Revoke(frames[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("revoked %d, want 2 (copy and copy-of-copy)", n)
+	}
+	if cs.Len() != before-2 {
+		t.Fatal("space size wrong after revoke")
+	}
+	if _, err := cs.Get(c1); !errors.Is(err, ErrBadRef) {
+		t.Fatal("revoked copy still live")
+	}
+	if _, err := cs.Get(c2); !errors.Is(err, ErrBadRef) {
+		t.Fatal("revoked grandchild still live")
+	}
+	if _, err := cs.Get(frames[0]); err != nil {
+		t.Fatal("revocation target should remain live")
+	}
+}
+
+func TestDeleteReparentsChildren(t *testing.T) {
+	cs := NewCSpace("c")
+	root := ramRoot(cs, 0, 4096)
+	frames, _ := cs.Retype(root, Frame, 0, 4096, 1)
+	cpy, _ := cs.Copy(frames[0])
+	if err := cs.Delete(frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Get(cpy); err != nil {
+		t.Fatal("copy must survive parent deletion")
+	}
+	// Revoking the root must now reach the re-parented copy.
+	n, _ := cs.Revoke(root)
+	if n != 1 {
+		t.Fatalf("revoke removed %d, want 1", n)
+	}
+}
+
+func TestDeleteBadRef(t *testing.T) {
+	cs := NewCSpace("c")
+	if err := cs.Delete(Ref(99)); !errors.Is(err, ErrBadRef) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestConflictCheckDetectsFrameOverPageTable(t *testing.T) {
+	a := NewCSpace("core0")
+	b := NewCSpace("core1")
+	// Core 0 types the region as a page table; core 1 (inconsistently)
+	// holds a writable frame over the same memory.
+	a.AddRoot(Capability{Type: PageTable, Level: 1, Base: 0x4000, Bytes: 4096, Rights: CanRead | CanWrite})
+	b.AddRoot(Capability{Type: Frame, Base: 0x4000, Bytes: 4096, Rights: AllRights})
+	if err := ConflictCheck(a, b); err == nil {
+		t.Fatal("conflict not detected")
+	}
+}
+
+func TestConflictCheckAllowsReplicas(t *testing.T) {
+	a := NewCSpace("core0")
+	b := NewCSpace("core1")
+	c := Capability{Type: Frame, Base: 0x4000, Bytes: 4096, Rights: AllRights}
+	a.AddRoot(c)
+	b.AddRoot(c)
+	if err := ConflictCheck(a, b); err != nil {
+		t.Fatalf("replicas flagged as conflict: %v", err)
+	}
+}
+
+func TestConflictCheckIgnoresRAM(t *testing.T) {
+	a := NewCSpace("core0")
+	root := ramRoot(a, 0, 64*4096)
+	if _, err := a.Retype(root, Frame, 0, 4096, 4); err != nil {
+		t.Fatal(err)
+	}
+	// RAM parent overlaps its Frame children, which is fine.
+	if err := ConflictCheck(a); err != nil {
+		t.Fatalf("parent/child flagged: %v", err)
+	}
+}
+
+func TestEndpointAndDispatcherSizes(t *testing.T) {
+	cs := NewCSpace("c")
+	root := ramRoot(cs, 0, 8*1024)
+	if _, err := cs.Retype(root, Endpoint, 0, 64, 4); err != nil {
+		t.Fatal(err)
+	}
+	cs2 := NewCSpace("c2")
+	root2 := ramRoot(cs2, 0, 8*1024)
+	if _, err := cs2.Retype(root2, Dispatcher, 0, 1024, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after any sequence of retype/copy/revoke operations, no two live
+// non-RAM capabilities of different types overlap (the §4.7 safety property,
+// locally), and revoke leaves its target live.
+func TestTypingSafetyProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		cs := NewCSpace("p")
+		root := ramRoot(cs, 0, 1<<20)
+		var live []Ref
+		live = append(live, root)
+		for _, op := range ops {
+			if len(live) == 0 {
+				break
+			}
+			target := live[int(op>>4)%len(live)]
+			switch op % 4 {
+			case 0:
+				if refs, err := cs.Retype(target, Frame, 0, 4096, int(op%3)+1); err == nil {
+					live = append(live, refs...)
+				}
+			case 1:
+				if r, err := cs.Copy(target); err == nil {
+					live = append(live, r)
+				}
+			case 2:
+				cs.Revoke(target)
+				// prune dead refs
+				var keep []Ref
+				for _, r := range live {
+					if _, err := cs.Get(r); err == nil {
+						keep = append(keep, r)
+					}
+				}
+				live = keep
+				if _, err := cs.Get(target); err != nil {
+					return false // revoke target must survive
+				}
+			case 3:
+				if target != root {
+					cs.Delete(target)
+					var keep []Ref
+					for _, r := range live {
+						if _, err := cs.Get(r); err == nil {
+							keep = append(keep, r)
+						}
+					}
+					live = keep
+				}
+			}
+		}
+		return ConflictCheck(cs) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"multikernel/internal/monitor"
+	"multikernel/internal/sim"
+	"multikernel/internal/topo"
+	"multikernel/internal/vm"
+)
+
+// Property: through the fully-booted system (monitors, agreement protocols,
+// real page tables), any interleaving of map / cross-core access / unmap
+// operations preserves the core invariant: an access succeeds if and only if
+// the page is currently mapped, and no unmap ever completes while any TLB
+// still holds the translation.
+func TestFullSystemVMProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		if len(ops) > 24 {
+			ops = ops[:24]
+		}
+		e := sim.NewEngine(1)
+		defer e.Close()
+		s := Boot(e, topo.AMD2x2())
+		ok := true
+		e.Spawn("driver", func(p *sim.Proc) {
+			d, err := s.NewDomain(p, "prop", []topo.CoreID{0, 1, 2, 3})
+			if err != nil {
+				ok = false
+				return
+			}
+			type page struct {
+				va     vm.VAddr
+				mapped bool
+			}
+			var pages []page
+			for _, op := range ops {
+				switch op % 3 {
+				case 0: // map a fresh page
+					va, err := d.MapAnon(p, 0, vm.PageSize, vm.Read|vm.Write)
+					if err != nil {
+						ok = false
+						return
+					}
+					pages = append(pages, page{va: va, mapped: true})
+				case 1: // access an arbitrary page from an arbitrary core
+					if len(pages) == 0 {
+						continue
+					}
+					pg := &pages[int(op/3)%len(pages)]
+					core := topo.CoreID(op % 4)
+					_, err := d.Space.Access(p, core, pg.va, true, uint64(op))
+					if pg.mapped && err != nil {
+						ok = false
+						return
+					}
+					if !pg.mapped && err == nil {
+						ok = false
+						return
+					}
+				case 2: // unmap with full shootdown
+					if len(pages) == 0 {
+						continue
+					}
+					pg := &pages[int(op/3)%len(pages)]
+					if !pg.mapped {
+						continue
+					}
+					if err := d.Unmap(p, 0, pg.va, vm.PageSize, monitor.NUMAAware); err != nil {
+						ok = false
+						return
+					}
+					pg.mapped = false
+					s.VM.CheckNoStaleTLB(d.Space.ID, pg.va, vm.PageSize)
+				}
+			}
+		})
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The system composes: a domain's threads, the VM and a monitor-coordinated
+// protect interact correctly when the downgrade races with readers.
+func TestProtectWhileReading(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	s := Boot(e, topo.AMD4x4())
+	var failed string
+	e.Spawn("init", func(p *sim.Proc) {
+		cores := []topo.CoreID{0, 4, 8, 12}
+		d, _ := s.NewDomain(p, "app", cores)
+		va, _ := d.MapAnon(p, 0, vm.PageSize, vm.Read|vm.Write)
+		for _, c := range cores {
+			d.Space.Access(p, c, va, true, 7)
+		}
+		// Readers on remote cores while core 0 downgrades to read-only.
+		done := sim.NewWaitGroup(e)
+		done.Add(len(cores) - 1)
+		for _, c := range cores[1:] {
+			c := c
+			e.Spawn("reader", func(rp *sim.Proc) {
+				defer done.Done()
+				for i := 0; i < 20; i++ {
+					if _, err := d.Space.Access(rp, c, va, false, 0); err != nil {
+						failed = "read failed during protect: " + err.Error()
+						return
+					}
+					rp.Sleep(500)
+				}
+			})
+		}
+		if err := d.Protect(p, 0, va, vm.PageSize, vm.Read, monitor.NUMAAware); err != nil {
+			failed = err.Error()
+			return
+		}
+		done.Wait(p)
+		// After protect completes, no core may write.
+		for _, c := range cores {
+			if _, err := d.Space.Access(p, c, va, true, 9); err != vm.ErrPerms {
+				failed = "write allowed after protect"
+				return
+			}
+		}
+	})
+	e.Run()
+	if failed != "" {
+		t.Fatal(failed)
+	}
+}

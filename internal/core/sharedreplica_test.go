@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"multikernel/internal/caps"
+	"multikernel/internal/sim"
+	"multikernel/internal/topo"
+)
+
+func bootShared(t *testing.T, m *topo.Machine) (*sim.Engine, *System) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	s := BootWith(e, m, Options{SharedReplicas: true})
+	t.Cleanup(e.Close)
+	return e, s
+}
+
+func TestSharedReplicaRetypeCommits(t *testing.T) {
+	e, s := bootShared(t, topo.AMD4x4())
+	ok := false
+	e.Spawn("init", func(p *sim.Proc) {
+		reg := s.Mem.Alloc(4096, 0)
+		ok = s.GlobalRetype(p, 0, reg.Base, reg.Bytes, caps.Frame, 0)
+	})
+	e.Run()
+	if !ok {
+		t.Fatal("retype aborted")
+	}
+	// Each socket's shared replica carries the typing.
+	for sk := 0; sk < 4; sk++ {
+		cs := s.Replica(topo.CoreID(sk * 4))
+		found := false
+		for _, c := range cs.All() {
+			if c.Type == caps.Frame {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("socket %d replica missing the Frame", sk)
+		}
+	}
+	if err := s.CheckCapConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedReplicaConflictStillAborts(t *testing.T) {
+	e, s := bootShared(t, topo.AMD4x4())
+	var first, second bool
+	e.Spawn("init", func(p *sim.Proc) {
+		reg := s.Mem.Alloc(4096, 0)
+		first = s.GlobalRetype(p, 0, reg.Base, reg.Bytes, caps.PageTable, 1)
+		second = s.GlobalRetype(p, 7, reg.Base, reg.Bytes, caps.Frame, 0)
+	})
+	e.Run()
+	if !first || second {
+		t.Fatalf("first=%v second=%v", first, second)
+	}
+	if err := s.CheckCapConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedReplicaSameSocketView(t *testing.T) {
+	e, s := bootShared(t, topo.AMD4x4())
+	e.Spawn("init", func(p *sim.Proc) {
+		reg := s.Mem.Alloc(4096, 0)
+		s.GlobalRetype(p, 0, reg.Base, reg.Bytes, caps.Frame, 0)
+	})
+	e.Run()
+	// Cores 4..7 share socket 1's replica: same object.
+	if s.Replica(4) != s.Replica(7) {
+		t.Fatal("same-socket cores do not share a replica")
+	}
+	if s.Replica(0) == s.Replica(4) {
+		t.Fatal("different sockets share a replica")
+	}
+}
+
+func TestSharedReplicaFewerParticipants(t *testing.T) {
+	e, s := bootShared(t, topo.AMD8x4())
+	e.Spawn("init", func(p *sim.Proc) {
+		reg := s.Mem.Alloc(4096, 0)
+		s.GlobalRetype(p, 0, reg.Base, reg.Bytes, caps.Frame, 0)
+	})
+	e.Run()
+	// Only the 7 remote socket leaders should have handled protocol traffic;
+	// non-leader remote cores saw nothing.
+	if got := s.Net.Monitor(5).Stats().Handled; got != 0 {
+		t.Fatalf("non-leader core 5 handled %d messages", got)
+	}
+	if got := s.Net.Monitor(4).Stats().Handled; got == 0 {
+		t.Fatal("leader core 4 handled no messages")
+	}
+}
+
+func TestSharedReplicaCheaperAtScale(t *testing.T) {
+	measure := func(shared bool) sim.Time {
+		e := sim.NewEngine(1)
+		defer e.Close()
+		s := BootWith(e, topo.AMD8x4(), Options{SharedReplicas: shared})
+		var lat sim.Time
+		e.Spawn("init", func(p *sim.Proc) {
+			r1 := s.Mem.Alloc(4096, 0)
+			s.GlobalRetype(p, 0, r1.Base, r1.Bytes, caps.Frame, 0) // warm
+			r2 := s.Mem.Alloc(4096, 0)
+			start := p.Now()
+			s.GlobalRetype(p, 0, r2.Base, r2.Bytes, caps.Frame, 0)
+			lat = p.Now() - start
+		})
+		e.Run()
+		return lat
+	}
+	per, grp := measure(false), measure(true)
+	t.Logf("2PC retype at 32 cores: per-core replicas %d, per-socket %d", per, grp)
+	if grp >= per {
+		t.Fatalf("shared replicas (%d) not cheaper than per-core (%d)", grp, per)
+	}
+}

@@ -1,0 +1,77 @@
+package expt
+
+import (
+	"fmt"
+
+	"multikernel/internal/monitor"
+	"multikernel/internal/sim"
+	"multikernel/internal/topo"
+)
+
+// AblationPrefetch quantifies the URPC receive-side prefetch option (§4.6):
+// pipelined throughput with and without prefetching, on the 8×4 AMD system's
+// one-hop pair.
+func AblationPrefetch(samples int) *table {
+	m := topo.AMD8x4()
+	off := MeasureURPC(m, 0, 4, samples, false)
+	on := MeasureURPC(m, 0, 4, samples, true)
+	t := &table{
+		Title:   "Ablation: URPC receive prefetch (8x4-core AMD, one-hop)",
+		Columns: []string{"Prefetch", "Latency (cycles)", "Throughput (msgs/kcycle)"},
+	}
+	t.AddRow("off", fmt.Sprintf("%.0f", off.Latency.Mean()), fmt.Sprintf("%.2f", off.Throughput))
+	t.AddRow("on", fmt.Sprintf("%.0f", on.Latency.Mean()), fmt.Sprintf("%.2f", on.Throughput))
+	return t
+}
+
+// AblationShootdownProtocols compares the integrated (full unmap path)
+// latency of the dissemination protocols at 32 cores — the design choice
+// behind Figure 7's use of the NUMA-aware tree.
+func AblationShootdownProtocols(iters int) *table {
+	m := topo.AMD8x4()
+	t := &table{
+		Title:   "Ablation: unmap dissemination protocol at 32 cores (8x4-core AMD)",
+		Columns: []string{"Protocol", "Unmap latency (cycles)"},
+	}
+	for _, pr := range []monitor.Protocol{monitor.Unicast, monitor.Multicast, monitor.NUMAAware} {
+		lat := unmapLatencyProto(m, 32, iters, pr)
+		t.AddRow(pr.String(), fmt.Sprintf("%.0f", lat))
+	}
+	return t
+}
+
+// AblationPipelineDepth sweeps the two-phase-commit pipeline depth at 32
+// cores, showing how batching amortizes agreement latency (Figure 8's
+// "cost when pipelining" design point).
+func AblationPipelineDepth(iters int) *table {
+	m := topo.AMD8x4()
+	t := &table{
+		Title:   "Ablation: 2PC pipeline depth at 32 cores (8x4-core AMD)",
+		Columns: []string{"Depth", "Cycles per operation"},
+	}
+	for _, d := range []int{1, 2, 4, 8, 16, 32} {
+		t.AddRow(fmt.Sprintf("%d", d), fmt.Sprintf("%.0f", twoPCLatency(m, 32, iters, d)))
+	}
+	return t
+}
+
+// AblationPollWindow sweeps the poll-before-block window against early and
+// late arrivals, validating the §5.2 model empirically.
+func AblationPollWindow() *table {
+	m := topo.AMD2x2()
+	C := 2 * (m.Costs.Trap + m.Costs.CSwitch) // block+wake round trip scale
+	t := &table{
+		Title:   "Ablation: poll window vs. arrival time (2x2-core AMD)",
+		Columns: []string{"window", "arrival", "rx overhead (cycles)", "msg latency (cycles)"},
+	}
+	for _, wFrac := range []float64{0.25, 1, 4} {
+		for _, aFrac := range []float64{0.5, 2} {
+			w := sim.Time(float64(C) * wFrac)
+			a := sim.Time(float64(C) * aFrac)
+			ov, lat := MeasurePollWindow(m, w, a)
+			t.AddRow(fmt.Sprintf("%.2fC", wFrac), fmt.Sprintf("%.1fC", aFrac),
+				fmt.Sprintf("%d", ov), fmt.Sprintf("%d", lat))
+		}
+	}
+	return t
+}

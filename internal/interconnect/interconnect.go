@@ -1,0 +1,128 @@
+// Package interconnect models the socket-to-socket message fabric
+// (HyperTransport-style point-to-point links) of a simulated machine. It does
+// not add latency — transaction latencies are part of the cache model's cost
+// parameters — but it accounts traffic per directed link in 32-bit dwords,
+// the unit the paper's Table 4 reports, and derives link utilization.
+package interconnect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"multikernel/internal/topo"
+)
+
+// Standard transaction sizes in dwords, approximating HyperTransport packet
+// framing: commands and responses are 2-dword packets; a cache-line data
+// transfer carries 16 dwords of payload plus a header.
+const (
+	DwordsProbe = 2  // coherence probe / read command
+	DwordsAck   = 2  // probe response / completion without data
+	DwordsData  = 18 // 64-byte line + header
+)
+
+// Fabric accounts interconnect traffic for one machine.
+type Fabric struct {
+	m       *topo.Machine
+	traffic map[[2]topo.SocketID]uint64 // directed link -> dwords
+}
+
+// New returns an empty fabric for machine m.
+func New(m *topo.Machine) *Fabric {
+	return &Fabric{m: m, traffic: make(map[[2]topo.SocketID]uint64)}
+}
+
+// Machine returns the machine this fabric belongs to.
+func (f *Fabric) Machine() *topo.Machine { return f.m }
+
+// Reset zeroes all traffic counters.
+func (f *Fabric) Reset() { f.traffic = make(map[[2]topo.SocketID]uint64) }
+
+// Charge records dwords of traffic along the shortest path from socket a to
+// socket b. Charging a == b is a no-op (intra-socket traffic never reaches
+// the fabric).
+func (f *Fabric) Charge(a, b topo.SocketID, dwords int) {
+	cur := a
+	for _, next := range f.m.Route(a, b) {
+		f.traffic[[2]topo.SocketID{cur, next}] += uint64(dwords)
+		cur = next
+	}
+}
+
+// ChargeBroadcast records dwords of traffic from socket a to every other
+// socket along a shortest-path tree (each link charged once per broadcast),
+// modelling probe broadcast on an unfiltered coherence fabric.
+func (f *Fabric) ChargeBroadcast(a topo.SocketID, dwords int) {
+	seen := map[[2]topo.SocketID]bool{}
+	for s := 0; s < f.m.NSockets; s++ {
+		if topo.SocketID(s) == a {
+			continue
+		}
+		cur := a
+		for _, next := range f.m.Route(a, topo.SocketID(s)) {
+			k := [2]topo.SocketID{cur, next}
+			if !seen[k] {
+				seen[k] = true
+				f.traffic[k] += uint64(dwords)
+			}
+			cur = next
+		}
+	}
+}
+
+// LinkDwords returns the dwords recorded on the directed link a->b. The link
+// need not exist; missing links carry zero.
+func (f *Fabric) LinkDwords(a, b topo.SocketID) uint64 {
+	return f.traffic[[2]topo.SocketID{a, b}]
+}
+
+// PathDwords returns the traffic recorded on the first link of the shortest
+// path from a to b — the "a to b direction" figure reported in the paper's
+// loopback table.
+func (f *Fabric) PathDwords(a, b topo.SocketID) uint64 {
+	r := f.m.Route(a, b)
+	if len(r) == 0 {
+		return 0
+	}
+	return f.LinkDwords(a, r[0])
+}
+
+// TotalDwords returns the sum over all directed links.
+func (f *Fabric) TotalDwords() uint64 {
+	var sum uint64
+	for _, v := range f.traffic {
+		sum += v
+	}
+	return sum
+}
+
+// Utilization returns the fraction of link a->b's bandwidth consumed over an
+// interval of elapsed cycles, given the link's bandwidth in GB/s.
+func (f *Fabric) Utilization(a, b topo.SocketID, elapsed uint64, linkGBps float64) float64 {
+	if elapsed == 0 || linkGBps <= 0 {
+		return 0
+	}
+	bytes := float64(f.LinkDwords(a, b)) * 4
+	seconds := float64(elapsed) / (f.m.ClockGHz * 1e9)
+	return bytes / (linkGBps * 1e9 * seconds)
+}
+
+// Snapshot returns a sorted human-readable listing of per-link traffic.
+func (f *Fabric) Snapshot() string {
+	keys := make([][2]topo.SocketID, 0, len(f.traffic))
+	for k := range f.traffic {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "link %d->%d: %d dwords\n", k[0], k[1], f.traffic[k])
+	}
+	return b.String()
+}

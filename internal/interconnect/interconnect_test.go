@@ -1,0 +1,102 @@
+package interconnect
+
+import (
+	"strings"
+	"testing"
+
+	"multikernel/internal/topo"
+)
+
+func TestChargeSingleLink(t *testing.T) {
+	f := New(topo.AMD2x2())
+	f.Charge(0, 1, 18)
+	if got := f.LinkDwords(0, 1); got != 18 {
+		t.Fatalf("0->1 = %d, want 18", got)
+	}
+	if got := f.LinkDwords(1, 0); got != 0 {
+		t.Fatalf("reverse direction charged: %d", got)
+	}
+}
+
+func TestChargeSelfIsNoop(t *testing.T) {
+	f := New(topo.AMD2x2())
+	f.Charge(1, 1, 100)
+	if f.TotalDwords() != 0 {
+		t.Fatal("self-charge recorded traffic")
+	}
+}
+
+func TestChargeMultiHop(t *testing.T) {
+	m := topo.AMD8x4()
+	f := New(m)
+	// 0 -> 2 is two hops (0-4-2).
+	if m.Hops(0, 2) != 2 {
+		t.Fatalf("precondition: hops(0,2)=%d", m.Hops(0, 2))
+	}
+	f.Charge(0, 2, 10)
+	if f.TotalDwords() != 20 {
+		t.Fatalf("total=%d, want 20 (10 on each of 2 links)", f.TotalDwords())
+	}
+	route := m.Route(0, 2)
+	if got := f.LinkDwords(0, route[0]); got != 10 {
+		t.Fatalf("first link=%d", got)
+	}
+}
+
+func TestChargeBroadcastChargesEachLinkOnce(t *testing.T) {
+	m := topo.AMD4x4()
+	f := New(m)
+	f.ChargeBroadcast(0, 2)
+	// Shortest-path tree from socket 0 in a 4-socket square reaches the 3
+	// other sockets over exactly 3 directed links.
+	if got := f.TotalDwords(); got != 6 {
+		t.Fatalf("total=%d, want 6", got)
+	}
+}
+
+func TestPathDwords(t *testing.T) {
+	f := New(topo.AMD2x2())
+	f.Charge(0, 1, 7)
+	f.Charge(1, 0, 3)
+	if got := f.PathDwords(0, 1); got != 7 {
+		t.Fatalf("path 0->1 = %d", got)
+	}
+	if got := f.PathDwords(1, 0); got != 3 {
+		t.Fatalf("path 1->0 = %d", got)
+	}
+	if got := f.PathDwords(0, 0); got != 0 {
+		t.Fatalf("self path = %d", got)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	m := topo.AMD2x2() // 2.8 GHz
+	f := New(m)
+	// 2.8e9 cycles = 1 second. 2e9 dwords = 8 GB on an 8 GB/s link = 100%.
+	f.Charge(0, 1, 2_000_000_000)
+	u := f.Utilization(0, 1, 2_800_000_000, 8)
+	if u < 0.99 || u > 1.01 {
+		t.Fatalf("utilization=%v, want ~1.0", u)
+	}
+	if f.Utilization(0, 1, 0, 8) != 0 {
+		t.Fatal("zero elapsed should give zero utilization")
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := New(topo.AMD2x2())
+	f.Charge(0, 1, 5)
+	f.Reset()
+	if f.TotalDwords() != 0 {
+		t.Fatal("reset did not clear traffic")
+	}
+}
+
+func TestSnapshotListsLinks(t *testing.T) {
+	f := New(topo.AMD2x2())
+	f.Charge(0, 1, 5)
+	s := f.Snapshot()
+	if !strings.Contains(s, "link 0->1: 5 dwords") {
+		t.Fatalf("snapshot: %q", s)
+	}
+}

@@ -1,0 +1,89 @@
+package kernel
+
+import (
+	"fmt"
+
+	"multikernel/internal/sim"
+	"multikernel/internal/topo"
+)
+
+// This file implements device-interrupt routing (§4.2): "Device interrupts
+// are routed in hardware to the appropriate core, demultiplexed by that
+// core's CPU driver, and delivered to the driver process as a message." The
+// routing table is the I/O APIC analogue; delivery charges the trap and
+// demux at the target core and enqueues a message the driver domain's proc
+// consumes.
+
+// IRQMsg is the message a CPU driver delivers to a driver process for one
+// device interrupt.
+type IRQMsg struct {
+	Vector int
+	At     sim.Time
+}
+
+// irqBinding is one registered device vector.
+type irqBinding struct {
+	core  topo.CoreID
+	queue *sim.Queue[IRQMsg]
+	waker *sim.Proc // driver proc to wake, if any
+}
+
+// irqDemuxCost is the CPU driver's per-interrupt demultiplex cost, beyond
+// the hardware trap.
+const irqDemuxCost = 120
+
+// RouteIRQ programs the interrupt routing: vector fires on core, and
+// messages are delivered to the returned queue. The SKB's DriverPlacement
+// typically chooses the core. Re-routing an existing vector moves it.
+func (s *System) RouteIRQ(vector int, core topo.CoreID) *sim.Queue[IRQMsg] {
+	if s.irqs == nil {
+		s.irqs = make(map[int]*irqBinding)
+	}
+	if old, ok := s.irqs[vector]; ok {
+		// Migration (e.g. after hotplug): keep the queue, move the route.
+		old.core = core
+		return old.queue
+	}
+	b := &irqBinding{core: core, queue: sim.NewQueue[IRQMsg](s.Eng)}
+	s.irqs[vector] = b
+	return b.queue
+}
+
+// SetIRQWaker registers the driver proc to wake on the vector's interrupts
+// (the "unblock the dispatcher" half of delivery).
+func (s *System) SetIRQWaker(vector int, p *sim.Proc) {
+	b := s.irqs[vector]
+	if b == nil {
+		panic(fmt.Sprintf("kernel: vector %d not routed", vector))
+	}
+	b.waker = p
+}
+
+// RaiseIRQ is called by a device model (engine context) when its interrupt
+// line asserts. The routed core takes the trap and demux costs in virtual
+// time before the message appears on the driver's queue.
+func (s *System) RaiseIRQ(vector int) {
+	b := s.irqs[vector]
+	if b == nil {
+		return // unrouted interrupts are dropped, as with a masked line
+	}
+	target := s.Cores[b.core]
+	target.stats.IPIsRecvd++ // interrupt delivery shares the LAPIC path
+	// The trap + demux happen on the target core; model them as a delay
+	// before the message is visible.
+	s.Eng.After(s.Mach.Costs.Trap+irqDemuxCost, func() {
+		b.queue.Push(IRQMsg{Vector: vector, At: s.Eng.Now()})
+		target.stats.Traps++
+		if b.waker != nil {
+			s.Eng.Wake(b.waker)
+		}
+	})
+}
+
+// IRQRoute reports the core a vector is currently routed to, or -1.
+func (s *System) IRQRoute(vector int) topo.CoreID {
+	if b, ok := s.irqs[vector]; ok {
+		return b.core
+	}
+	return -1
+}

@@ -1,0 +1,96 @@
+package kernel
+
+import (
+	"testing"
+
+	"multikernel/internal/sim"
+	"multikernel/internal/topo"
+)
+
+func TestIRQRoutedDeliveryAsMessage(t *testing.T) {
+	e := sim.NewEngine(1)
+	m := topo.AMD4x4()
+	sys := NewSystem(e, m)
+	q := sys.RouteIRQ(33, 6)
+	var got IRQMsg
+	var at sim.Time
+	drv := e.Spawn("driver", func(p *sim.Proc) {
+		got = q.Pop(p)
+		at = p.Now()
+	})
+	sys.SetIRQWaker(33, drv)
+	e.After(10_000, func() { sys.RaiseIRQ(33) })
+	e.Run()
+	if got.Vector != 33 {
+		t.Fatalf("vector %d", got.Vector)
+	}
+	// Delivery pays the trap + demux after the line asserted.
+	if at < 10_000+m.Costs.Trap {
+		t.Fatalf("delivered at %d, before trap cost elapsed", at)
+	}
+	if sys.Core(6).Stats().Traps != 1 {
+		t.Fatal("routed core did not trap")
+	}
+	if sys.Core(0).Stats().Traps != 0 {
+		t.Fatal("wrong core trapped")
+	}
+}
+
+func TestIRQUnroutedDropped(t *testing.T) {
+	e := sim.NewEngine(1)
+	sys := NewSystem(e, topo.AMD2x2())
+	sys.RaiseIRQ(99) // must not panic
+	e.Run()
+	if sys.IRQRoute(99) != -1 {
+		t.Fatal("unrouted vector has a route")
+	}
+}
+
+func TestIRQRerouteMoves(t *testing.T) {
+	e := sim.NewEngine(1)
+	sys := NewSystem(e, topo.AMD4x4())
+	q1 := sys.RouteIRQ(40, 2)
+	q2 := sys.RouteIRQ(40, 10) // migrate, e.g. after hotplug
+	if q1 != q2 {
+		t.Fatal("reroute created a new queue")
+	}
+	if sys.IRQRoute(40) != 10 {
+		t.Fatalf("route=%d", sys.IRQRoute(40))
+	}
+	sys.RaiseIRQ(40)
+	e.Run()
+	if sys.Core(10).Stats().Traps != 1 || sys.Core(2).Stats().Traps != 0 {
+		t.Fatal("interrupt fired on the old core")
+	}
+}
+
+func TestIRQBurstQueues(t *testing.T) {
+	e := sim.NewEngine(1)
+	sys := NewSystem(e, topo.AMD2x2())
+	q := sys.RouteIRQ(5, 1)
+	for i := 0; i < 4; i++ {
+		sys.RaiseIRQ(5)
+	}
+	var n int
+	e.Spawn("driver", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			q.Pop(p)
+			n++
+		}
+	})
+	e.Run()
+	if n != 4 {
+		t.Fatalf("delivered %d/4 interrupts", n)
+	}
+}
+
+func TestSetWakerUnroutedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e := sim.NewEngine(1)
+	sys := NewSystem(e, topo.AMD2x2())
+	sys.SetIRQWaker(7, nil)
+}

@@ -1,0 +1,176 @@
+package kernel
+
+import (
+	"testing"
+
+	"multikernel/internal/sim"
+	"multikernel/internal/topo"
+)
+
+func TestLRPCCostMatchesTable1(t *testing.T) {
+	// Paper Table 1 one-way LRPC latencies in cycles.
+	want := map[string]sim.Time{
+		"2x4-core Intel": 845,
+		"2x2-core AMD":   757,
+		"4x4-core AMD":   1463,
+		"8x4-core AMD":   1549,
+	}
+	for _, m := range topo.AllMachines() {
+		got := LRPCCost(m)
+		w := want[m.Name]
+		// The model composes the cost from syscall + check + switch + upcall
+		// + dispatch; allow 3% calibration slack.
+		lo, hi := w*97/100, w*103/100
+		if got < lo || got > hi {
+			t.Errorf("%s: LRPC=%d cycles, want ~%d", m.Name, got, w)
+		}
+	}
+}
+
+func TestLRPCChargesTime(t *testing.T) {
+	e := sim.NewEngine(1)
+	m := topo.AMD2x2()
+	sys := NewSystem(e, m)
+	var took sim.Time
+	e.Spawn("caller", func(p *sim.Proc) {
+		start := p.Now()
+		sys.Core(0).LRPC(p)
+		took = p.Now() - start
+	})
+	e.Run()
+	if took != LRPCCost(m) {
+		t.Fatalf("charged %d, want %d", took, LRPCCost(m))
+	}
+	if sys.Core(0).Stats().LRPCs != 1 {
+		t.Fatal("LRPC not counted")
+	}
+}
+
+func TestLRPCCallRoundTrip(t *testing.T) {
+	e := sim.NewEngine(1)
+	m := topo.AMD2x2()
+	sys := NewSystem(e, m)
+	var took sim.Time
+	served := false
+	e.Spawn("caller", func(p *sim.Proc) {
+		start := p.Now()
+		sys.Core(0).LRPCCall(p, func(p *sim.Proc) {
+			served = true
+			p.Sleep(100)
+		})
+		took = p.Now() - start
+	})
+	e.Run()
+	if !served {
+		t.Fatal("handler not invoked")
+	}
+	if want := 2*LRPCCost(m) + 100; took != want {
+		t.Fatalf("round trip %d, want %d", took, want)
+	}
+}
+
+func TestIPIDelivery(t *testing.T) {
+	e := sim.NewEngine(1)
+	m := topo.AMD4x4()
+	sys := NewSystem(e, m)
+	var gotFrom topo.CoreID = -1
+	var gotVec int
+	var deliveredAt sim.Time
+	sys.Core(12).OnIPI(func(from topo.CoreID, vector int) {
+		gotFrom, gotVec = from, vector
+		deliveredAt = e.Now()
+	})
+	var sentAt sim.Time
+	e.Spawn("sender", func(p *sim.Proc) {
+		sentAt = p.Now()
+		sys.Core(0).SendIPI(p, 12, 7)
+	})
+	e.Run()
+	if gotFrom != 0 || gotVec != 7 {
+		t.Fatalf("handler got from=%d vec=%d", gotFrom, gotVec)
+	}
+	if deliveredAt <= sentAt {
+		t.Fatal("IPI arrived instantaneously")
+	}
+	if sys.Core(0).Stats().IPIsSent != 1 || sys.Core(12).Stats().IPIsRecvd != 1 {
+		t.Fatal("IPI counters wrong")
+	}
+}
+
+func TestIPIWakesParkedProc(t *testing.T) {
+	e := sim.NewEngine(1)
+	sys := NewSystem(e, topo.AMD2x2())
+	var wokenAt sim.Time
+	waiter := e.Spawn("idle", func(p *sim.Proc) {
+		p.Park()
+		sys.Core(2).Trap(p) // interrupt entry on wake
+		wokenAt = p.Now()
+	})
+	sys.Core(2).OnIPI(func(from topo.CoreID, vector int) { e.Wake(waiter) })
+	e.Spawn("sender", func(p *sim.Proc) {
+		p.Sleep(1000)
+		sys.Core(0).SendIPI(p, 2, 1)
+	})
+	e.Run()
+	e.CheckQuiesced()
+	if wokenAt < 1000 {
+		t.Fatalf("woken at %d, before IPI was sent", wokenAt)
+	}
+}
+
+func TestSyscallTrapSwitchCounters(t *testing.T) {
+	e := sim.NewEngine(1)
+	m := topo.Intel2x4()
+	sys := NewSystem(e, m)
+	e.Spawn("p", func(p *sim.Proc) {
+		c := sys.Core(3)
+		c.Syscall(p)
+		c.Trap(p)
+		c.ContextSwitch(p)
+	})
+	e.Run()
+	st := sys.Core(3).Stats()
+	if st.Syscalls != 1 || st.Traps != 1 || st.Switches != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	want := m.Costs.Syscall + m.Costs.Trap + m.Costs.CSwitch
+	if e.Now() != want {
+		t.Fatalf("elapsed %d, want %d", e.Now(), want)
+	}
+}
+
+func TestCoreOccupancySerializes(t *testing.T) {
+	e := sim.NewEngine(1)
+	sys := NewSystem(e, topo.AMD2x2())
+	var order []string
+	for _, name := range []string{"a", "b"} {
+		name := name
+		e.Spawn(name, func(p *sim.Proc) {
+			c := sys.Core(0)
+			c.Acquire(p)
+			p.Sleep(100)
+			order = append(order, name)
+			c.Release()
+		})
+	}
+	e.Run()
+	if e.Now() != 200 {
+		t.Fatalf("two 100-cycle occupancies finished at %d, want 200", e.Now())
+	}
+	if len(order) != 2 || order[0] != "a" {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestPerCoreDriverIsolation(t *testing.T) {
+	e := sim.NewEngine(1)
+	sys := NewSystem(e, topo.AMD8x4())
+	if len(sys.Cores) != 32 {
+		t.Fatalf("%d drivers, want 32", len(sys.Cores))
+	}
+	e.Spawn("p", func(p *sim.Proc) { sys.Core(5).Syscall(p) })
+	e.Run()
+	if sys.Core(4).Stats().Syscalls != 0 {
+		t.Fatal("syscall leaked to another core's driver")
+	}
+}

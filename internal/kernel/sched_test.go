@@ -1,0 +1,160 @@
+package kernel
+
+import (
+	"testing"
+
+	"multikernel/internal/sim"
+	"multikernel/internal/topo"
+)
+
+func newSchedRig() (*sim.Engine, *System, *Scheduler) {
+	e := sim.NewEngine(1)
+	sys := NewSystem(e, topo.AMD4x4())
+	return e, sys, sys.Core(0).NewScheduler(1000)
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	e, _, s := newSchedRig()
+	a := s.Add("a")
+	b := s.Add("b")
+	c := s.Add("c")
+	e.Spawn("driver", func(p *sim.Proc) {
+		for i := 0; i < 30; i++ {
+			s.RunSlice(p)
+		}
+	})
+	e.Run()
+	if a.Runtime != 10000 || b.Runtime != 10000 || c.Runtime != 10000 {
+		t.Fatalf("unfair: a=%d b=%d c=%d", a.Runtime, b.Runtime, c.Runtime)
+	}
+}
+
+func TestBlockedDispatcherSkipped(t *testing.T) {
+	e, _, s := newSchedRig()
+	a := s.Add("a")
+	b := s.Add("b")
+	s.SetRunnable(b, false)
+	e.Spawn("driver", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			s.RunSlice(p)
+		}
+	})
+	e.Run()
+	if b.Runtime != 0 {
+		t.Fatalf("blocked dispatcher ran %d", b.Runtime)
+	}
+	if a.Runtime != 10000 {
+		t.Fatalf("a ran %d, want all slices", a.Runtime)
+	}
+}
+
+func TestIdleWhenNothingRunnable(t *testing.T) {
+	e, _, s := newSchedRig()
+	a := s.Add("a")
+	s.SetRunnable(a, false)
+	var got *Dispatcher = a
+	e.Spawn("driver", func(p *sim.Proc) {
+		got = s.RunSlice(p)
+	})
+	e.Run()
+	if got != nil {
+		t.Fatalf("idle core dispatched %v", got)
+	}
+}
+
+func TestSwitchCostOnlyOnChange(t *testing.T) {
+	e, sysk, s := newSchedRig()
+	s.Add("only")
+	var elapsed sim.Time
+	e.Spawn("driver", func(p *sim.Proc) {
+		start := p.Now()
+		for i := 0; i < 5; i++ {
+			s.RunSlice(p)
+		}
+		elapsed = p.Now() - start
+	})
+	e.Run()
+	costs := sysk.Mach.Costs
+	want := 5*sim.Time(1000) + costs.CSwitch + costs.Upcall // one switch only
+	if elapsed != want {
+		t.Fatalf("elapsed %d, want %d (single context switch)", elapsed, want)
+	}
+	if s.Switches != 1 {
+		t.Fatalf("switches=%d", s.Switches)
+	}
+}
+
+func TestRemoveCurrent(t *testing.T) {
+	e, _, s := newSchedRig()
+	a := s.Add("a")
+	b := s.Add("b")
+	e.Spawn("driver", func(p *sim.Proc) {
+		s.RunSlice(p)
+		s.Remove(a)
+		s.Remove(b)
+		if got := s.RunSlice(p); got != nil {
+			t.Errorf("dispatched removed dispatcher %v", got)
+		}
+	})
+	e.Run()
+}
+
+func TestActivationCounting(t *testing.T) {
+	e, _, s := newSchedRig()
+	a := s.Add("a")
+	b := s.Add("b")
+	e.Spawn("driver", func(p *sim.Proc) {
+		for i := 0; i < 6; i++ {
+			s.RunSlice(p)
+		}
+	})
+	e.Run()
+	// Alternating a/b: each re-entered 3 times.
+	if a.Activations != 3 || b.Activations != 3 {
+		t.Fatalf("activations a=%d b=%d", a.Activations, b.Activations)
+	}
+}
+
+func TestGangScheduleSynchronizes(t *testing.T) {
+	e := sim.NewEngine(1)
+	sys := NewSystem(e, topo.AMD4x4())
+	gang := &Gang{Name: "omp"}
+	for i := 0; i < 4; i++ {
+		sched := sys.Core(topo.CoreID(i * 4)).NewScheduler(1000)
+		sched.Add("other") // competing dispatcher
+		gang.Members = append(gang.Members, sched.Add("omp"))
+	}
+	var start sim.Time
+	e.Spawn("coordinator", func(p *sim.Proc) {
+		start = GangSchedule(p, sys, 0, gang)
+	})
+	e.Run()
+	if start == 0 {
+		t.Fatal("no synchronized start computed")
+	}
+	for _, d := range gang.Members {
+		if d.Activations != 1 {
+			t.Fatalf("member %v not activated", d)
+		}
+		if d.sched.current != d {
+			t.Fatalf("member %v not current on its core", d)
+		}
+	}
+	// The edge must be no earlier than the remote coordination path.
+	m := sys.Mach
+	if start < m.Costs.IPIDeliver+m.Costs.Trap {
+		t.Fatalf("synchronized start %d implausibly early", start)
+	}
+}
+
+func TestEmptyGangPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e := sim.NewEngine(1)
+	sys := NewSystem(e, topo.AMD2x2())
+	// The empty-gang check fires before any simulated time is needed.
+	GangSchedule(nil, sys, 0, &Gang{})
+}

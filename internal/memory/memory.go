@@ -1,0 +1,161 @@
+// Package memory models the simulated machine's physical memory: a sparse
+// word-addressed store partitioned into 64-byte cache lines, each homed on a
+// NUMA node (socket). Latency is not charged here — the cache model consults
+// the machine's cost parameters — but data values and home-node placement
+// are, so that messages really carry payloads and NUMA-aware allocation is a
+// real placement decision.
+package memory
+
+import (
+	"fmt"
+
+	"multikernel/internal/topo"
+)
+
+// Addr is a simulated physical byte address. Word accesses must be 8-byte
+// aligned.
+type Addr uint64
+
+// LineSize is the cache-line size in bytes.
+const LineSize = 64
+
+// WordsPerLine is the number of 64-bit words in a cache line.
+const WordsPerLine = LineSize / 8
+
+// LineID identifies a cache line (Addr / LineSize).
+type LineID uint64
+
+// Line returns the line containing a.
+func (a Addr) Line() LineID { return LineID(a / LineSize) }
+
+// LineBase returns the first address of line l.
+func (l LineID) Base() Addr { return Addr(l) * LineSize }
+
+// Region is an allocated range of physical memory.
+type Region struct {
+	Base  Addr
+	Bytes uint64
+	Home  topo.SocketID
+}
+
+// End returns one past the last byte of the region.
+func (r Region) End() Addr { return r.Base + Addr(r.Bytes) }
+
+// Lines returns the number of cache lines the region spans.
+func (r Region) Lines() int { return int(r.Bytes / LineSize) }
+
+// LineAt returns the base address of the i'th line of the region.
+func (r Region) LineAt(i int) Addr { return r.Base + Addr(i*LineSize) }
+
+// Memory is the physical memory of one simulated machine.
+type Memory struct {
+	m     *topo.Machine
+	next  Addr
+	homes map[LineID]topo.SocketID
+	words map[Addr]uint64
+}
+
+// New returns an empty memory for machine m. Address 0 is never allocated so
+// it can serve as a null value.
+func New(m *topo.Machine) *Memory {
+	return &Memory{
+		m:     m,
+		next:  LineSize, // keep line 0 unused
+		homes: make(map[LineID]topo.SocketID),
+		words: make(map[Addr]uint64),
+	}
+}
+
+// Alloc reserves bytes of line-aligned memory homed on the given socket and
+// returns the region. Allocations are rounded up to whole lines.
+func (mem *Memory) Alloc(bytes int, home topo.SocketID) Region {
+	if bytes <= 0 {
+		panic("memory: allocation must be positive")
+	}
+	if int(home) < 0 || int(home) >= mem.m.NSockets {
+		panic(fmt.Sprintf("memory: home socket %d out of range", home))
+	}
+	lines := (bytes + LineSize - 1) / LineSize
+	r := Region{Base: mem.next, Bytes: uint64(lines * LineSize), Home: home}
+	for i := 0; i < lines; i++ {
+		mem.homes[r.LineAt(i).Line()] = home
+	}
+	mem.next += Addr(lines * LineSize)
+	return r
+}
+
+// AllocLines reserves n cache lines homed on the given socket.
+func (mem *Memory) AllocLines(n int, home topo.SocketID) Region {
+	return mem.Alloc(n*LineSize, home)
+}
+
+// Home returns the NUMA home socket of the line containing a. Unallocated
+// addresses are homed on socket 0.
+func (mem *Memory) Home(a Addr) topo.SocketID {
+	return mem.homes[a.Line()]
+}
+
+// LoadWord returns the 64-bit word at a, which must be 8-byte aligned.
+func (mem *Memory) LoadWord(a Addr) uint64 {
+	if a%8 != 0 {
+		panic(fmt.Sprintf("memory: misaligned load at %#x", uint64(a)))
+	}
+	return mem.words[a]
+}
+
+// StoreWord writes the 64-bit word at a, which must be 8-byte aligned.
+func (mem *Memory) StoreWord(a Addr, v uint64) {
+	if a%8 != 0 {
+		panic(fmt.Sprintf("memory: misaligned store at %#x", uint64(a)))
+	}
+	if v == 0 {
+		delete(mem.words, a)
+		return
+	}
+	mem.words[a] = v
+}
+
+// LoadLine returns the 8 words of the line containing a.
+func (mem *Memory) LoadLine(a Addr) [WordsPerLine]uint64 {
+	base := a.Line().Base()
+	var out [WordsPerLine]uint64
+	for i := range out {
+		out[i] = mem.words[base+Addr(i*8)]
+	}
+	return out
+}
+
+// StoreLine writes the 8 words of the line containing a.
+func (mem *Memory) StoreLine(a Addr, vals [WordsPerLine]uint64) {
+	base := a.Line().Base()
+	for i, v := range vals {
+		mem.StoreWord(base+Addr(i*8), v)
+	}
+}
+
+// LoadBytes copies n bytes starting at a into a fresh slice. Byte access is
+// implemented over the word store, so it interoperates with word writes.
+func (mem *Memory) LoadBytes(a Addr, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		addr := a + Addr(i)
+		w := mem.words[addr&^7]
+		out[i] = byte(w >> (8 * (addr & 7)))
+	}
+	return out
+}
+
+// StoreBytes writes b starting at address a.
+func (mem *Memory) StoreBytes(a Addr, b []byte) {
+	for i, c := range b {
+		addr := a + Addr(i)
+		wa := addr &^ 7
+		shift := 8 * (addr & 7)
+		w := mem.words[wa]
+		w = (w &^ (uint64(0xff) << shift)) | uint64(c)<<shift
+		mem.StoreWord(wa, w)
+	}
+}
+
+// Size returns the total allocated bytes.
+func (mem *Memory) Size() uint64 { return uint64(mem.next) - LineSize }

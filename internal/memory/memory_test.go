@@ -1,0 +1,151 @@
+package memory
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"multikernel/internal/topo"
+)
+
+func TestAllocAlignmentAndHomes(t *testing.T) {
+	mem := New(topo.AMD4x4())
+	r1 := mem.Alloc(100, 2) // rounds to 2 lines
+	if r1.Bytes != 128 {
+		t.Fatalf("bytes=%d, want 128", r1.Bytes)
+	}
+	if r1.Base%LineSize != 0 {
+		t.Fatalf("base %#x not line aligned", uint64(r1.Base))
+	}
+	if mem.Home(r1.Base) != 2 || mem.Home(r1.Base+64) != 2 {
+		t.Fatal("home socket not recorded for all lines")
+	}
+	r2 := mem.Alloc(64, 1)
+	if r2.Base < r1.End() {
+		t.Fatal("regions overlap")
+	}
+	if mem.Home(r2.Base) != 1 {
+		t.Fatal("second region home wrong")
+	}
+}
+
+func TestAllocZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(topo.AMD2x2()).Alloc(0, 0)
+}
+
+func TestAllocBadHomePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(topo.AMD2x2()).Alloc(64, 5)
+}
+
+func TestWordRoundTrip(t *testing.T) {
+	mem := New(topo.AMD2x2())
+	r := mem.AllocLines(1, 0)
+	mem.StoreWord(r.Base+8, 0xdeadbeef)
+	if got := mem.LoadWord(r.Base + 8); got != 0xdeadbeef {
+		t.Fatalf("got %#x", got)
+	}
+	if got := mem.LoadWord(r.Base); got != 0 {
+		t.Fatalf("unwritten word = %#x, want 0", got)
+	}
+}
+
+func TestMisalignedAccessPanics(t *testing.T) {
+	mem := New(topo.AMD2x2())
+	r := mem.AllocLines(1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	mem.LoadWord(r.Base + 3)
+}
+
+func TestLineRoundTrip(t *testing.T) {
+	mem := New(topo.AMD2x2())
+	r := mem.AllocLines(1, 0)
+	var vals [WordsPerLine]uint64
+	for i := range vals {
+		vals[i] = uint64(i * 7)
+	}
+	mem.StoreLine(r.Base, vals)
+	if got := mem.LoadLine(r.Base); got != vals {
+		t.Fatalf("got %v, want %v", got, vals)
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	mem := New(topo.AMD2x2())
+	r := mem.AllocLines(4, 1)
+	msg := []byte("the multikernel treats the machine as a network")
+	mem.StoreBytes(r.Base+5, msg) // deliberately unaligned
+	if got := mem.LoadBytes(r.Base+5, len(msg)); !bytes.Equal(got, msg) {
+		t.Fatalf("got %q, want %q", got, msg)
+	}
+}
+
+func TestBytesWordInterop(t *testing.T) {
+	mem := New(topo.AMD2x2())
+	r := mem.AllocLines(1, 0)
+	mem.StoreWord(r.Base, 0x0807060504030201)
+	got := mem.LoadBytes(r.Base, 8)
+	want := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %v, want %v (little-endian view)", got, want)
+	}
+}
+
+func TestBytesRoundTripProperty(t *testing.T) {
+	mem := New(topo.AMD4x4())
+	r := mem.AllocLines(64, 0)
+	f := func(off uint16, data []byte) bool {
+		if len(data) == 0 || len(data) > 1024 {
+			return true
+		}
+		a := r.Base + Addr(off%1024)
+		mem.StoreBytes(a, data)
+		return bytes.Equal(mem.LoadBytes(a, len(data)), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineIDMath(t *testing.T) {
+	a := Addr(3 * LineSize)
+	if a.Line() != 3 {
+		t.Fatalf("line=%d", a.Line())
+	}
+	if a.Line().Base() != a {
+		t.Fatal("base round trip failed")
+	}
+	if (a+63).Line() != 3 || (a+64).Line() != 4 {
+		t.Fatal("line boundary math wrong")
+	}
+}
+
+func TestRegionHelpers(t *testing.T) {
+	mem := New(topo.AMD2x2())
+	r := mem.AllocLines(3, 1)
+	if r.Lines() != 3 {
+		t.Fatalf("lines=%d", r.Lines())
+	}
+	if r.LineAt(2) != r.Base+128 {
+		t.Fatal("LineAt wrong")
+	}
+	if r.End() != r.Base+192 {
+		t.Fatal("End wrong")
+	}
+	if mem.Size() != 192 {
+		t.Fatalf("size=%d", mem.Size())
+	}
+}

@@ -1,0 +1,204 @@
+package monitor
+
+import (
+	"testing"
+
+	"multikernel/internal/sim"
+	"multikernel/internal/topo"
+)
+
+func TestPowerOffUpdatesAllViews(t *testing.T) {
+	f := newFixture(t, topo.AMD4x4())
+	var err error
+	f.e.Spawn("init", func(p *sim.Proc) {
+		err = f.net.PowerOff(p, 0, 9)
+	})
+	f.e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 16; c++ {
+		mon := f.net.Monitor(topo.CoreID(c))
+		if mon.Online(9) {
+			t.Fatalf("monitor %d still believes core 9 is online", c)
+		}
+		if !mon.Online(3) {
+			t.Fatalf("monitor %d lost an unrelated core", c)
+		}
+	}
+}
+
+func TestOfflineCoreExcludedFromShootdown(t *testing.T) {
+	f := newFixture(t, topo.AMD4x4())
+	var ok bool
+	f.e.Spawn("init", func(p *sim.Proc) {
+		if err := f.net.PowerOff(p, 0, 9); err != nil {
+			t.Error(err)
+			return
+		}
+		ok = f.net.Monitor(0).Unmap(p, 0x10000, 4096, nil, NUMAAware)
+	})
+	f.e.Run()
+	if !ok {
+		t.Fatal("unmap failed after power-off")
+	}
+	if f.invalidated[9] != 0 {
+		t.Fatal("offline core 9 received a shootdown")
+	}
+	for c := 0; c < 16; c++ {
+		if c != 9 && f.invalidated[topo.CoreID(c)] != 1 {
+			t.Fatalf("online core %d invalidated %d times", c, f.invalidated[topo.CoreID(c)])
+		}
+	}
+}
+
+func TestPowerOnRejoinsProtocols(t *testing.T) {
+	f := newFixture(t, topo.AMD4x4())
+	var ok bool
+	f.e.Spawn("init", func(p *sim.Proc) {
+		if err := f.net.PowerOff(p, 0, 9); err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(2_000_000) // let the victim settle into its sleep loop
+		if err := f.net.PowerOn(p, 0, 9); err != nil {
+			t.Error(err)
+			return
+		}
+		ok = f.net.Monitor(0).Unmap(p, 0x10000, 4096, nil, NUMAAware)
+	})
+	f.e.Run()
+	if !ok {
+		t.Fatal("unmap failed after power-on")
+	}
+	if f.invalidated[9] != 1 {
+		t.Fatalf("rejoined core 9 invalidated %d times, want 1", f.invalidated[9])
+	}
+	for c := 0; c < 16; c++ {
+		if !f.net.Monitor(topo.CoreID(c)).Online(9) {
+			t.Fatalf("monitor %d did not learn core 9 is back", c)
+		}
+	}
+}
+
+func TestPowerOffGuards(t *testing.T) {
+	f := newFixture(t, topo.AMD2x2())
+	var errSelf, errTwice, errLast error
+	f.e.Spawn("init", func(p *sim.Proc) {
+		errSelf = f.net.PowerOff(p, 0, 0)
+		f.net.PowerOff(p, 0, 1)
+		errTwice = f.net.PowerOff(p, 0, 1)
+		f.net.PowerOff(p, 0, 2)
+		f.net.PowerOff(p, 0, 3)
+		errLast = f.net.PowerOff(p, 3, 0) // initiator 3 is itself offline... use 0
+	})
+	f.e.Run()
+	if errSelf == nil {
+		t.Error("self power-off allowed")
+	}
+	if errTwice == nil {
+		t.Error("double power-off allowed")
+	}
+	if errLast == nil {
+		t.Error("last-core power-off allowed")
+	}
+}
+
+func TestPowerOnAlreadyOnlineErrors(t *testing.T) {
+	f := newFixture(t, topo.AMD2x2())
+	var err error
+	f.e.Spawn("init", func(p *sim.Proc) {
+		err = f.net.PowerOn(p, 0, 2)
+	})
+	f.e.Run()
+	if err == nil {
+		t.Fatal("power-on of online core allowed")
+	}
+}
+
+func TestNameServiceRegisterLookup(t *testing.T) {
+	f := newFixture(t, topo.AMD4x4())
+	ns := NewNameService(f.net, 0)
+	var found bool
+	var ref ServiceRef
+	f.e.Spawn("svc", func(p *sim.Proc) {
+		ns.Register(p, 5, "netd", 5, map[string]string{"proto": "udp"})
+		ns.Register(p, 9, "webd", 9, map[string]string{"proto": "tcp"})
+		ref, found = ns.Lookup(p, 12, "netd")
+	})
+	f.e.Run()
+	if !found || ref.Core != 5 {
+		t.Fatalf("lookup: %v %v", ref, found)
+	}
+}
+
+func TestNameServiceLookupByProperty(t *testing.T) {
+	f := newFixture(t, topo.AMD4x4())
+	ns := NewNameService(f.net, 0)
+	var refs []ServiceRef
+	f.e.Spawn("svc", func(p *sim.Proc) {
+		ns.Register(p, 1, "b-svc", 1, map[string]string{"class": "driver"})
+		ns.Register(p, 2, "a-svc", 2, map[string]string{"class": "driver"})
+		ns.Register(p, 3, "c-svc", 3, map[string]string{"class": "app"})
+		refs = ns.LookupByProperty(p, 4, "class", "driver")
+	})
+	f.e.Run()
+	if len(refs) != 2 || refs[0].Name != "a-svc" || refs[1].Name != "b-svc" {
+		t.Fatalf("refs: %v", refs)
+	}
+}
+
+func TestNameServiceUnregister(t *testing.T) {
+	f := newFixture(t, topo.AMD2x2())
+	ns := NewNameService(f.net, 0)
+	var first, second bool
+	var stillThere bool
+	f.e.Spawn("svc", func(p *sim.Proc) {
+		ns.Register(p, 1, "x", 1, nil)
+		first = ns.Unregister(p, 2, "x")
+		second = ns.Unregister(p, 2, "x")
+		_, stillThere = ns.Lookup(p, 3, "x")
+	})
+	f.e.Run()
+	if !first || second || stillThere {
+		t.Fatalf("first=%v second=%v stillThere=%v", first, second, stillThere)
+	}
+}
+
+func TestBindServiceEstablishesWorkingChannel(t *testing.T) {
+	f := newFixture(t, topo.AMD4x4())
+	ns := NewNameService(f.net, 0)
+	var echoed uint64
+	f.e.Spawn("init", func(p *sim.Proc) {
+		ns.Register(p, 9, "echo", 9, nil)
+		client, server, ok := ns.BindService(p, 4, "echo")
+		if !ok {
+			t.Error("bind failed")
+			return
+		}
+		// Service side echoes one message.
+		f.e.Spawn("echo-svc", func(sp *sim.Proc) {
+			msg := server.Rx.Recv(sp)
+			server.Tx.Send(sp, msg)
+		})
+		client.Tx.Send(p, [7]uint64{42})
+		echoed = client.Rx.Recv(p)[0]
+	})
+	f.e.Run()
+	if echoed != 42 {
+		t.Fatalf("echoed %d", echoed)
+	}
+}
+
+func TestBindUnknownServiceFails(t *testing.T) {
+	f := newFixture(t, topo.AMD2x2())
+	ns := NewNameService(f.net, 0)
+	ok := true
+	f.e.Spawn("init", func(p *sim.Proc) {
+		_, _, ok = ns.BindService(p, 1, "missing")
+	})
+	f.e.Run()
+	if ok {
+		t.Fatal("bind to unknown name succeeded")
+	}
+}

@@ -1,0 +1,328 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+
+	"multikernel/internal/cache"
+	"multikernel/internal/caps"
+	"multikernel/internal/kernel"
+	"multikernel/internal/memory"
+	"multikernel/internal/sim"
+	"multikernel/internal/skb"
+	"multikernel/internal/topo"
+	"multikernel/internal/urpc"
+)
+
+// Protocol selects how a coordinated operation is disseminated (§5.1).
+type Protocol int
+
+// Dissemination protocols.
+const (
+	// Unicast sends an individual message to every participant.
+	Unicast Protocol = iota
+	// Multicast uses the two-level socket tree in ascending socket order.
+	Multicast
+	// NUMAAware uses the SKB's multicast tree: aggregation nodes ordered by
+	// decreasing latency, channel buffers homed at the receivers.
+	NUMAAware
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case Unicast:
+		return "unicast"
+	case Multicast:
+		return "multicast"
+	case NUMAAware:
+		return "numa-aware multicast"
+	}
+	return "?"
+}
+
+// Costs of monitor software paths, in cycles (identical across machines;
+// machine-specific costs come from topo.CostParams).
+const (
+	marshalCost  = 60  // building and marshaling one protocol message
+	loopCost     = 8   // one pass of the dispatch loop bookkeeping
+	idleSleep    = 140 // gap between idle polling sweeps
+	idleToBlock  = 40  // idle sweeps before the monitor blocks
+	monitorSlots = 64  // inter-monitor channel ring size
+)
+
+// Stats counts one monitor's activity.
+type Stats struct {
+	Handled   uint64 // protocol messages dispatched
+	Initiated uint64 // operations started on behalf of local processes
+	Commits   uint64
+	Aborts    uint64
+	Wakeups   uint64 // times this monitor was woken from its blocked state
+}
+
+// Hooks let higher layers (the VM system, the capability system) plug
+// machine state changes into the agreement protocols. All hooks run in the
+// context of the handling monitor's proc and may charge additional time.
+type Hooks struct {
+	// Invalidate is called on every participant (and the origin) of an unmap
+	// operation, after the TLB-invalidate cost has been charged.
+	Invalidate func(p *sim.Proc, core topo.CoreID, op Op)
+	// Prepare validates a two-phase operation on a participant; returning
+	// false votes to abort.
+	Prepare func(p *sim.Proc, core topo.CoreID, op Op) bool
+	// Apply commits a two-phase operation on a participant.
+	Apply func(p *sim.Proc, core topo.CoreID, op Op)
+}
+
+// Network is the distributed system of monitors on one machine.
+type Network struct {
+	Eng   *sim.Engine
+	Sys   *cache.System
+	Kern  *kernel.System
+	KB    *skb.KB
+	Hooks Hooks
+
+	monitors []*Monitor
+}
+
+// localReq is a request handed to a monitor by a process on its core.
+type localReq struct {
+	op        Op
+	protocol  Protocol
+	targets   []topo.CoreID
+	fut       *sim.Future[bool]
+	isCap     bool   // capability transfer rather than ping
+	capRights uint64 // rights carried by a transferred capability
+}
+
+// opState tracks an operation this monitor initiated.
+type opState struct {
+	req      *localReq
+	plan     []sendPlan // dissemination plan, reused for the decision phase
+	need     int        // outstanding responses in the current phase
+	got      int
+	allYes   bool
+	decision bool // 2PC: commit (true) or abort
+	phase    int  // 1 = prepare/shootdown, 2 = decision
+}
+
+// fwdState tracks a message an aggregation node forwarded to its children.
+type fwdState struct {
+	parent  topo.CoreID // who gets the aggregate response
+	need    int
+	got     int
+	allYes  bool
+	ackKind MsgKind // aggregate response type (ack or vote)
+}
+
+type lockRange struct {
+	base  memory.Addr
+	bytes uint64
+	opID  uint64
+}
+
+// Monitor is the coordination process of one core.
+type Monitor struct {
+	Core topo.CoreID
+	net  *Network
+	CS   *caps.CSpace
+
+	in    map[topo.CoreID]*urpc.Channel
+	out   map[topo.CoreID]*urpc.Channel
+	peers []topo.CoreID // deterministic poll order
+
+	local  *sim.Queue[*localReq]
+	proc   *sim.Proc
+	parked bool
+	down   bool   // core powered off (§3.3 hotplug)
+	view   []bool // replicated membership: which cores this monitor believes online
+	seq    uint64
+
+	ops   map[uint64]*opState
+	fwd   map[uint64]*fwdState
+	locks []lockRange
+	stats Stats
+}
+
+// NewNetwork boots one monitor per core, builds the full URPC mesh between
+// them (channel buffers homed at each receiver, per the SKB's allocation
+// advice) and starts the monitor dispatch loops.
+func NewNetwork(e *sim.Engine, sys *cache.System, kern *kernel.System, kb *skb.KB, hooks Hooks) *Network {
+	n := &Network{Eng: e, Sys: sys, Kern: kern, KB: kb, Hooks: hooks}
+	m := sys.Machine()
+	for c := 0; c < m.NumCores(); c++ {
+		view := make([]bool, m.NumCores())
+		for i := range view {
+			view[i] = true
+		}
+		n.monitors = append(n.monitors, &Monitor{
+			Core:  topo.CoreID(c),
+			net:   n,
+			CS:    caps.NewCSpace(fmt.Sprintf("core%d", c)),
+			in:    make(map[topo.CoreID]*urpc.Channel),
+			out:   make(map[topo.CoreID]*urpc.Channel),
+			local: sim.NewQueue[*localReq](e),
+			ops:   make(map[uint64]*opState),
+			fwd:   make(map[uint64]*fwdState),
+			view:  view,
+		})
+	}
+	for a := 0; a < m.NumCores(); a++ {
+		for b := 0; b < m.NumCores(); b++ {
+			if a == b {
+				continue
+			}
+			ca, cb := topo.CoreID(a), topo.CoreID(b)
+			ch := urpc.New(sys, ca, cb, urpc.Options{Slots: monitorSlots, Home: int(kb.AllocAdvice(cb))})
+			n.monitors[a].out[cb] = ch
+			n.monitors[b].in[ca] = ch
+		}
+	}
+	for _, mon := range n.monitors {
+		for p := range mon.in {
+			mon.peers = append(mon.peers, p)
+		}
+		sort.Slice(mon.peers, func(i, j int) bool { return mon.peers[i] < mon.peers[j] })
+		mon := mon
+		mon.proc = e.Spawn(fmt.Sprintf("monitor%d", mon.Core), mon.run)
+	}
+	return n
+}
+
+// Monitor returns the monitor of core c.
+func (n *Network) Monitor(c topo.CoreID) *Monitor { return n.monitors[c] }
+
+// Stats returns a copy of the monitor's counters.
+func (m *Monitor) Stats() Stats { return m.stats }
+
+// wake ensures the target core's monitor notices new input, charging the
+// notification cost if it had blocked.
+func (n *Network) wake(p *sim.Proc, target topo.CoreID) {
+	t := n.monitors[target]
+	if t.parked {
+		t.stats.Wakeups++
+		p.Sleep(n.Sys.Machine().Costs.IPIDeliver)
+		p.Unpark(t.proc)
+	}
+}
+
+// send transmits a protocol message to another monitor and wakes it.
+func (m *Monitor) send(p *sim.Proc, to topo.CoreID, msg urpc.Message) {
+	p.Sleep(marshalCost)
+	m.out[to].Send(p, msg)
+	m.net.wake(p, to)
+}
+
+// run is the monitor dispatch loop: poll local requests and every incoming
+// channel; block after a sustained idle period and wait for notification.
+func (m *Monitor) run(p *sim.Proc) {
+	p.SetDaemon(true)
+	costs := &m.net.Sys.Machine().Costs
+	idle := 0
+	for {
+		progress := false
+		if req, ok := m.local.TryPop(); ok {
+			m.startOp(p, req)
+			progress = true
+		}
+		for _, src := range m.peers {
+			if msg, ok := m.in[src].TryRecv(p); ok {
+				m.dispatch(p, src, msg)
+				progress = true
+			}
+		}
+		p.Sleep(loopCost)
+		if progress {
+			idle = 0
+			continue
+		}
+		idle++
+		if idle < idleToBlock {
+			p.Sleep(idleSleep)
+			continue
+		}
+		m.parked = true
+		p.Park()
+		m.parked = false
+		idle = 0
+		// Being re-dispatched after an interrupt-driven wakeup.
+		p.Sleep(costs.Trap + costs.CSwitch)
+		for m.down {
+			// Powered off: sleep until the PowerOn IPI (§3.3).
+			p.Sleep(coreDownParkCost)
+			m.parked = true
+			p.Park()
+			m.parked = false
+		}
+	}
+}
+
+// dispatch demultiplexes one protocol message.
+func (m *Monitor) dispatch(p *sim.Proc, src topo.CoreID, raw urpc.Message) {
+	m.stats.Handled++
+	p.Sleep(m.net.Sys.Machine().Costs.Dispatch)
+	kind, op, aux := unwire(raw)
+	switch kind {
+	case MsgShootdown, MsgShootdownFwd:
+		m.handleShootdown(p, src, op, aux, kind == MsgShootdownFwd)
+	case MsgShootdownAck:
+		m.handleAck(p, op, func(st *opState) {
+			st.req.fut.Complete(true)
+			m.stats.Commits++
+		})
+	case MsgPrepare, MsgPrepareFwd:
+		m.handlePrepare(p, src, op, aux, kind == MsgPrepareFwd)
+	case MsgVote:
+		m.handleVote(p, op, aux)
+	case MsgDecision, MsgDecisionFwd:
+		m.handleDecision(p, src, op, aux, kind == MsgDecisionFwd)
+	case MsgDecisionAck:
+		m.handleAck(p, op, func(st *opState) {
+			m.finish2PC(p, st)
+		})
+	case MsgCapSend:
+		m.handleCapSend(p, src, op, aux)
+	case MsgCapAck:
+		m.handleAck(p, op, func(st *opState) { st.req.fut.Complete(aux == 1) })
+	case MsgPing:
+		m.send(p, op.Origin, wire(MsgPong, op, 0))
+	case MsgPong:
+		m.handleAck(p, op, func(st *opState) { st.req.fut.Complete(true) })
+	default:
+		panic(fmt.Sprintf("monitor%d: unknown message %v from %d", m.Core, kind, src))
+	}
+}
+
+// handleAck consumes one response toward the current phase of an operation
+// this monitor initiated; done runs when the phase completes.
+func (m *Monitor) handleAck(p *sim.Proc, op Op, done func(*opState)) {
+	st, ok := m.ops[op.ID]
+	if !ok {
+		// Response for an aggregate this core forwarded.
+		m.handleFwdAck(p, op)
+		return
+	}
+	st.got++
+	if st.got >= st.need {
+		delete(m.ops, op.ID)
+		done(st)
+	}
+}
+
+func (m *Monitor) handleFwdAck(p *sim.Proc, op Op) {
+	fw, ok := m.fwd[op.ID]
+	if !ok {
+		panic(fmt.Sprintf("monitor%d: stray ack for op %#x", m.Core, op.ID))
+	}
+	fw.got++
+	if fw.got >= fw.need {
+		delete(m.fwd, op.ID)
+		aux := uint64(fw.need + 1)
+		if fw.ackKind == MsgVote {
+			aux = 0
+			if fw.allYes {
+				aux = 1
+			}
+		}
+		m.send(p, fw.parent, wire(fw.ackKind, op, aux))
+	}
+}

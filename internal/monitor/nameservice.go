@@ -1,0 +1,132 @@
+package monitor
+
+import (
+	"sort"
+
+	"multikernel/internal/sim"
+	"multikernel/internal/topo"
+	"multikernel/internal/urpc"
+)
+
+// This file implements the name service and channel-setup machinery of
+// §4.6: "A name service is used to locate other services in the system by
+// mapping service names and properties to a service reference, which can be
+// used to establish a channel to the service. Channel setup is performed by
+// the monitors."
+//
+// The name service itself is a distinguished service domain on one core;
+// lookups and registrations travel over the monitor network, and channel
+// establishment is a three-way exchange between the two endpoint monitors
+// that allocates the URPC rings (honouring the SKB's NUMA placement advice)
+// and hands references to both parties.
+
+// ServiceRef identifies a registered service endpoint.
+type ServiceRef struct {
+	Name string
+	Core topo.CoreID
+	// Properties carry small attribute key/values (e.g. "proto"="tcp"),
+	// used by property-constrained lookups.
+	Properties map[string]string
+}
+
+// NameService is the registry domain. It lives on one core; all access from
+// other cores is monitor-mediated (charged as message round trips).
+type NameService struct {
+	net  *Network
+	core topo.CoreID
+	tab  map[string]ServiceRef
+}
+
+// NewNameService starts the registry on the given core.
+func NewNameService(net *Network, core topo.CoreID) *NameService {
+	return &NameService{net: net, core: core, tab: make(map[string]ServiceRef)}
+}
+
+// nsRTT charges the monitor-mediated round trip from core to the registry:
+// an LRPC into the local monitor, a URPC round trip to the registry core
+// (skipped for local callers) and the reply LRPC.
+func (ns *NameService) nsRTT(p *sim.Proc, from topo.CoreID) {
+	ns.net.Kern.Core(from).LRPC(p)
+	if from != ns.core {
+		m := ns.net.Sys.Machine()
+		rtt := 2 * (m.TransferLat(ns.core, from) + m.TransferLat(from, ns.core))
+		p.Sleep(rtt + 2*m.Costs.Dispatch)
+	}
+	ns.net.Kern.Core(from).LRPC(p)
+}
+
+// Register publishes a service under name with optional properties.
+// Re-registering a name overwrites the previous entry (the newest instance
+// wins, as with Barrelfish's nameservice).
+func (ns *NameService) Register(p *sim.Proc, from topo.CoreID, name string, core topo.CoreID, props map[string]string) {
+	ns.nsRTT(p, from)
+	ns.tab[name] = ServiceRef{Name: name, Core: core, Properties: props}
+}
+
+// Lookup resolves a name to a service reference.
+func (ns *NameService) Lookup(p *sim.Proc, from topo.CoreID, name string) (ServiceRef, bool) {
+	ns.nsRTT(p, from)
+	ref, ok := ns.tab[name]
+	return ref, ok
+}
+
+// LookupByProperty returns all services carrying the given property
+// key/value, sorted by name for determinism.
+func (ns *NameService) LookupByProperty(p *sim.Proc, from topo.CoreID, key, value string) []ServiceRef {
+	ns.nsRTT(p, from)
+	var out []ServiceRef
+	for _, ref := range ns.tab {
+		if ref.Properties[key] == value {
+			out = append(out, ref)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Unregister removes a name; it reports whether the name was present.
+func (ns *NameService) Unregister(p *sim.Proc, from topo.CoreID, name string) bool {
+	ns.nsRTT(p, from)
+	_, ok := ns.tab[name]
+	delete(ns.tab, name)
+	return ok
+}
+
+// Binding is an established bidirectional channel between a client and a
+// service, as produced by monitor-mediated channel setup.
+type Binding struct {
+	Tx *urpc.Channel // client -> service
+	Rx *urpc.Channel // service -> client
+}
+
+// BindService performs the full §4.6 connection sequence from the client
+// core: look the name up in the registry, then have the two monitors
+// establish a URPC channel pair with ring buffers homed per the SKB's
+// placement advice. It returns the client-side binding and the service-side
+// binding (which the service's monitor delivers to the service).
+func (ns *NameService) BindService(p *sim.Proc, client topo.CoreID, name string) (clientSide, serviceSide *Binding, ok bool) {
+	ref, found := ns.Lookup(p, client, name)
+	if !found {
+		return nil, nil, false
+	}
+	clientSide, serviceSide = ns.net.SetupChannel(p, client, ref.Core)
+	return clientSide, serviceSide, true
+}
+
+// SetupChannel has the monitors of the two cores allocate and exchange a
+// URPC channel pair: a bind request travels to the peer monitor through the
+// monitor network, rings are allocated per the SKB's NUMA advice (each
+// direction's buffer on its receiver's socket), and the bind reply carries
+// the ring references back. Both endpoints' bindings are returned.
+func (n *Network) SetupChannel(p *sim.Proc, a, b topo.CoreID) (aSide, bSide *Binding) {
+	monA := n.Monitor(a)
+	n.Kern.Core(a).LRPC(p)
+	op := Op{Kind: OpNone, ID: monA.nextOpID(), Origin: a}
+	fut := monA.submit(p, &localReq{op: op, targets: []topo.CoreID{b}})
+	fut.Await(p)
+	n.Kern.Core(a).LRPC(p)
+
+	tx := urpc.New(n.Sys, a, b, urpc.Options{Home: int(n.KB.AllocAdvice(b))})
+	rx := urpc.New(n.Sys, b, a, urpc.Options{Home: int(n.KB.AllocAdvice(a))})
+	return &Binding{Tx: tx, Rx: rx}, &Binding{Tx: rx, Rx: tx}
+}

@@ -1,0 +1,436 @@
+package monitor
+
+import (
+	"fmt"
+
+	"multikernel/internal/caps"
+	"multikernel/internal/memory"
+	"multikernel/internal/sim"
+	"multikernel/internal/skb"
+	"multikernel/internal/topo"
+)
+
+// aux-word layout for dissemination messages: low 16 bits carry the child
+// mask (relative to the receiver's socket base core), bit 16 carries the
+// commit flag on decision messages.
+const (
+	auxMaskBits = 16
+	auxCommit   = 1 << auxMaskBits
+)
+
+// sendPlan is one direct transmission of a dissemination round.
+type sendPlan struct {
+	to   topo.CoreID
+	mask uint64 // relative child mask the receiver must forward to
+}
+
+// relMask builds a socket-relative bitmask for the given children.
+func (m *Monitor) relMask(children []topo.CoreID) uint64 {
+	mach := m.net.Sys.Machine()
+	var mask uint64
+	for _, c := range children {
+		rel := int(c) % mach.CoresPerSocket
+		if rel >= auxMaskBits {
+			panic("monitor: socket too wide for child mask encoding")
+		}
+		mask |= 1 << uint(rel)
+	}
+	return mask
+}
+
+// expandMask converts a relative child mask back to core IDs on core c's
+// socket.
+func (m *Monitor) expandMask(mask uint64) []topo.CoreID {
+	mach := m.net.Sys.Machine()
+	base := int(mach.Socket(m.Core)) * mach.CoresPerSocket
+	var out []topo.CoreID
+	for i := 0; i < mach.CoresPerSocket; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			out = append(out, topo.CoreID(base+i))
+		}
+	}
+	return out
+}
+
+// plan computes the direct sends for disseminating to targets under the
+// given protocol. A nil target list means every core.
+func (m *Monitor) plan(protocol Protocol, targets []topo.CoreID) []sendPlan {
+	if targets == nil {
+		targets = m.onlineView()
+	} else {
+		// Filter an explicit target list through the replicated membership
+		// view: offline cores have no TLBs to shoot down and no monitor to
+		// answer (§3.3).
+		kept := targets[:0:0]
+		for _, t := range targets {
+			if m.view[t] {
+				kept = append(kept, t)
+			}
+		}
+		targets = kept
+	}
+	switch protocol {
+	case Unicast:
+		var out []sendPlan
+		for _, t := range targets {
+			if t != m.Core {
+				out = append(out, sendPlan{to: t})
+			}
+		}
+		return out
+	case Multicast, NUMAAware:
+		tree := m.net.KB.MulticastTree(m.Core, targets)
+		groups := append([]skb.Group(nil), tree.Groups...)
+		if protocol == Multicast {
+			// Plain multicast ignores latency ordering: ascending socket.
+			sortGroupsByAgg(groups)
+		}
+		var out []sendPlan
+		for _, g := range groups {
+			out = append(out, sendPlan{to: g.Agg, mask: m.relMask(g.Children)})
+		}
+		for _, c := range tree.Local {
+			out = append(out, sendPlan{to: c})
+		}
+		return out
+	}
+	panic("monitor: unknown protocol")
+}
+
+func sortGroupsByAgg(gs []skb.Group) {
+	for i := 1; i < len(gs); i++ {
+		for j := i; j > 0 && gs[j].Agg < gs[j-1].Agg; j-- {
+			gs[j], gs[j-1] = gs[j-1], gs[j]
+		}
+	}
+}
+
+// nextOpID mints a network-unique operation ID.
+func (m *Monitor) nextOpID() uint64 {
+	m.seq++
+	return uint64(m.Core)<<32 | m.seq
+}
+
+// ---------------------------------------------------------------------------
+// Initiation
+
+// startOp begins executing a local request inside the monitor loop.
+func (m *Monitor) startOp(p *sim.Proc, req *localReq) {
+	m.stats.Initiated++
+	op := req.op
+	switch op.Kind {
+	case OpUnmap, OpCoreDown, OpCoreUp:
+		m.startShootdown(p, req)
+	case OpRetype, OpRevoke:
+		m.start2PC(p, req)
+	case OpNone:
+		// Ping or capability transfer: single round trip to the target.
+		m.ops[op.ID] = &opState{req: req, need: 1}
+		if req.isCap {
+			m.send(p, req.targets[0], wire(MsgCapSend, op, req.capRights))
+		} else {
+			m.send(p, req.targets[0], wire(MsgPing, op, 0))
+		}
+	default:
+		panic(fmt.Sprintf("monitor%d: bad op kind %d", m.Core, op.Kind))
+	}
+}
+
+func (m *Monitor) startShootdown(p *sim.Proc, req *localReq) {
+	// Plan from the pre-operation view (a membership change must still reach
+	// the core it removes), then apply locally (§5.1: the origin
+	// participates too).
+	plan := m.plan(req.protocol, req.targets)
+	m.invalidateLocal(p, req.op)
+	if len(plan) == 0 {
+		m.stats.Commits++
+		req.fut.Complete(true)
+		return
+	}
+	m.ops[req.op.ID] = &opState{req: req, need: len(plan), phase: 1}
+	for _, s := range plan {
+		m.send(p, s.to, wire(MsgShootdown, req.op, s.mask))
+	}
+}
+
+func (m *Monitor) start2PC(p *sim.Proc, req *localReq) {
+	op := req.op
+	if !m.tryLock(op) || !m.prepareLocal(p, op) {
+		m.unlock(op.ID)
+		m.stats.Aborts++
+		req.fut.Complete(false)
+		return
+	}
+	plan := m.plan(req.protocol, req.targets)
+	if len(plan) == 0 {
+		m.applyLocal(p, op)
+		m.unlock(op.ID)
+		m.stats.Commits++
+		req.fut.Complete(true)
+		return
+	}
+	st := &opState{req: req, need: len(plan), phase: 1, allYes: true}
+	st.plan = plan
+	m.ops[op.ID] = st
+	for _, s := range plan {
+		m.send(p, s.to, wire(MsgPrepare, op, s.mask))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// One-phase commit (shootdown)
+
+func (m *Monitor) invalidateLocal(p *sim.Proc, op Op) {
+	if op.Kind == OpCoreDown || op.Kind == OpCoreUp {
+		m.applyCoreChange(op)
+		return
+	}
+	p.Sleep(m.net.Sys.Machine().Costs.TLBInval)
+	if m.net.Hooks.Invalidate != nil {
+		m.net.Hooks.Invalidate(p, m.Core, op)
+	}
+}
+
+func (m *Monitor) handleShootdown(p *sim.Proc, src topo.CoreID, op Op, aux uint64, isFwd bool) {
+	m.invalidateLocal(p, op)
+	children := m.expandMask(aux & (auxCommit - 1))
+	if len(children) > 0 && !isFwd {
+		m.fwd[op.ID] = &fwdState{parent: src, need: len(children), ackKind: MsgShootdownAck}
+		for _, c := range children {
+			m.send(p, c, wire(MsgShootdownFwd, op, 0))
+		}
+		return
+	}
+	m.send(p, src, wire(MsgShootdownAck, op, 1))
+}
+
+// ---------------------------------------------------------------------------
+// Two-phase commit (retype / revoke)
+
+func (m *Monitor) prepareLocal(p *sim.Proc, op Op) bool {
+	if m.net.Hooks.Prepare != nil {
+		return m.net.Hooks.Prepare(p, m.Core, op)
+	}
+	return true
+}
+
+func (m *Monitor) applyLocal(p *sim.Proc, op Op) {
+	if m.net.Hooks.Apply != nil {
+		m.net.Hooks.Apply(p, m.Core, op)
+	}
+}
+
+func (m *Monitor) handlePrepare(p *sim.Proc, src topo.CoreID, op Op, aux uint64, isFwd bool) {
+	ok := m.tryLock(op) && m.prepareLocal(p, op)
+	if !ok {
+		m.unlock(op.ID)
+	}
+	children := m.expandMask(aux & (auxCommit - 1))
+	if len(children) > 0 && !isFwd {
+		m.fwd[op.ID] = &fwdState{parent: src, need: len(children), allYes: ok, ackKind: MsgVote}
+		for _, c := range children {
+			m.send(p, c, wire(MsgPrepareFwd, op, 0))
+		}
+		return
+	}
+	vote := uint64(0)
+	if ok {
+		vote = 1
+	}
+	m.send(p, src, wire(MsgVote, op, vote))
+}
+
+func (m *Monitor) handleVote(p *sim.Proc, op Op, aux uint64) {
+	if st, ok := m.ops[op.ID]; ok {
+		st.got++
+		if aux != 1 {
+			st.allYes = false
+		}
+		if st.got < st.need {
+			return
+		}
+		// Phase 1 complete: decide and disseminate.
+		st.decision = st.allYes
+		st.phase = 2
+		st.got = 0
+		st.need = len(st.plan)
+		for _, s := range st.plan {
+			aux := s.mask
+			if st.decision {
+				aux |= auxCommit
+			}
+			m.send(p, s.to, wire(MsgDecision, op, aux))
+		}
+		return
+	}
+	// Aggregate votes on behalf of children.
+	fw, ok := m.fwd[op.ID]
+	if !ok {
+		panic(fmt.Sprintf("monitor%d: stray vote for op %#x", m.Core, op.ID))
+	}
+	if aux != 1 {
+		fw.allYes = false
+	}
+	fw.got++
+	if fw.got >= fw.need {
+		delete(m.fwd, op.ID)
+		v := uint64(0)
+		if fw.allYes {
+			v = 1
+		}
+		m.send(p, fw.parent, wire(MsgVote, op, v))
+	}
+}
+
+func (m *Monitor) handleDecision(p *sim.Proc, src topo.CoreID, op Op, aux uint64, isFwd bool) {
+	commit := aux&auxCommit != 0
+	if commit {
+		m.applyLocal(p, op)
+	}
+	m.unlock(op.ID)
+	children := m.expandMask(aux & (auxCommit - 1))
+	if len(children) > 0 && !isFwd {
+		m.fwd[op.ID] = &fwdState{parent: src, need: len(children), ackKind: MsgDecisionAck}
+		for _, c := range children {
+			m.send(p, c, wire(MsgDecisionFwd, op, aux&auxCommit))
+		}
+		return
+	}
+	m.send(p, src, wire(MsgDecisionAck, op, 1))
+}
+
+func (m *Monitor) finish2PC(p *sim.Proc, st *opState) {
+	op := st.req.op
+	if st.decision {
+		m.applyLocal(p, op)
+		m.stats.Commits++
+	} else {
+		m.stats.Aborts++
+	}
+	m.unlock(op.ID)
+	st.req.fut.Complete(st.decision)
+}
+
+// ---------------------------------------------------------------------------
+// Range locks (serializing conflicting 2PC operations)
+
+func (m *Monitor) tryLock(op Op) bool {
+	for _, l := range m.locks {
+		if l.opID == op.ID {
+			return true // already hold it
+		}
+		if op.Base < l.base+memory.Addr(l.bytes) && l.base < op.Base+memory.Addr(op.Bytes) {
+			return false
+		}
+	}
+	m.locks = append(m.locks, lockRange{base: op.Base, bytes: op.Bytes, opID: op.ID})
+	return true
+}
+
+func (m *Monitor) unlock(opID uint64) {
+	for i, l := range m.locks {
+		if l.opID == opID {
+			m.locks = append(m.locks[:i], m.locks[i+1:]...)
+			return
+		}
+	}
+}
+
+// LockedRanges returns the number of currently locked ranges (for tests).
+func (m *Monitor) LockedRanges() int { return len(m.locks) }
+
+// ---------------------------------------------------------------------------
+// Capability transfer (§4.8)
+
+func (m *Monitor) handleCapSend(p *sim.Proc, src topo.CoreID, op Op, aux uint64) {
+	// The capability travels in its packed wire form (base, bytes,
+	// type/level/rights word).
+	c := caps.UnpackWords(uint64(op.Base), op.Bytes, aux)
+	// Refuse the transfer if the range is mid-revocation (locked).
+	probe := Op{ID: op.ID, Base: c.Base, Bytes: c.Bytes}
+	ok := m.tryLock(probe)
+	if ok {
+		m.unlock(op.ID)
+		m.CS.AddRoot(c)
+		m.send(p, src, wire(MsgCapAck, op, 1))
+		return
+	}
+	m.send(p, src, wire(MsgCapAck, op, 0))
+}
+
+// ---------------------------------------------------------------------------
+// Public API (called from application procs)
+
+// submit charges the LRPC into the monitor, enqueues the request and wakes
+// the monitor.
+func (m *Monitor) submit(p *sim.Proc, req *localReq) *sim.Future[bool] {
+	m.net.Kern.Core(m.Core).LRPC(p)
+	req.fut = sim.NewFuture[bool](m.net.Eng)
+	m.local.Push(req)
+	m.net.wake(p, m.Core)
+	return req.fut
+}
+
+// finishCall awaits the operation and charges the reply LRPC back to the
+// calling process.
+func (m *Monitor) finishCall(p *sim.Proc, fut *sim.Future[bool]) bool {
+	ok := fut.Await(p)
+	m.net.Kern.Core(m.Core).LRPC(p)
+	return ok
+}
+
+// Unmap removes or downgrades the mapping of [base, base+bytes) on the given
+// cores (nil = all cores) using the given dissemination protocol, blocking
+// the calling process until every TLB is clean. It is the complete unmap
+// path of the paper's Figure 7.
+func (m *Monitor) Unmap(p *sim.Proc, base memory.Addr, bytes uint64, targets []topo.CoreID, protocol Protocol) bool {
+	return m.finishCall(p, m.UnmapAsync(p, base, bytes, targets, protocol))
+}
+
+// UnmapAsync is the split-phase form of Unmap: it returns immediately with a
+// future the caller may await later (the reply LRPC is not charged).
+func (m *Monitor) UnmapAsync(p *sim.Proc, base memory.Addr, bytes uint64, targets []topo.CoreID, protocol Protocol) *sim.Future[bool] {
+	op := Op{Kind: OpUnmap, ID: m.nextOpID(), Origin: m.Core, Base: base, Bytes: bytes}
+	return m.submit(p, &localReq{op: op, protocol: protocol, targets: targets})
+}
+
+// Retype performs a two-phase-committed capability retype of
+// [base, base+bytes) across the given cores (nil = all). It reports whether
+// the operation committed.
+func (m *Monitor) Retype(p *sim.Proc, base memory.Addr, bytes uint64, to caps.Type, level int, targets []topo.CoreID) bool {
+	return m.finishCall(p, m.RetypeAsync(p, base, bytes, to, level, targets))
+}
+
+// RetypeAsync is the split-phase form of Retype, used for pipelining
+// (Figure 8's "cost when pipelining").
+func (m *Monitor) RetypeAsync(p *sim.Proc, base memory.Addr, bytes uint64, to caps.Type, level int, targets []topo.CoreID) *sim.Future[bool] {
+	op := Op{Kind: OpRetype, ID: m.nextOpID(), Origin: m.Core, Base: base, Bytes: bytes, NewType: to, Level: level}
+	return m.submit(p, &localReq{op: op, protocol: NUMAAware, targets: targets})
+}
+
+// Revoke performs a two-phase-committed revocation of the capability range.
+func (m *Monitor) Revoke(p *sim.Proc, base memory.Addr, bytes uint64, targets []topo.CoreID) bool {
+	op := Op{Kind: OpRevoke, ID: m.nextOpID(), Origin: m.Core, Base: base, Bytes: bytes}
+	return m.finishCall(p, m.submit(p, &localReq{op: op, protocol: NUMAAware, targets: targets}))
+}
+
+// SendCap transfers a capability to the monitor of another core (§4.8),
+// refusing if the capability lacks the grant right. It reports whether the
+// remote monitor accepted it.
+func (m *Monitor) SendCap(p *sim.Proc, to topo.CoreID, c caps.Capability) bool {
+	if c.Rights&caps.CanGrant == 0 {
+		return false
+	}
+	w0, w1, w2 := c.PackWords()
+	op := Op{Kind: OpNone, ID: m.nextOpID(), Origin: m.Core, Base: memory.Addr(w0), Bytes: w1}
+	req := &localReq{op: op, targets: []topo.CoreID{to}, capRights: w2, isCap: true}
+	return m.finishCall(p, m.submit(p, req))
+}
+
+// Ping measures a monitor-to-monitor round trip, returning its latency.
+func (m *Monitor) Ping(p *sim.Proc, to topo.CoreID) sim.Time {
+	start := p.Now()
+	op := Op{Kind: OpNone, ID: m.nextOpID(), Origin: m.Core}
+	m.finishCall(p, m.submit(p, &localReq{op: op, targets: []topo.CoreID{to}}))
+	return p.Now() - start
+}

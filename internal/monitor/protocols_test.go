@@ -1,0 +1,68 @@
+package monitor
+
+import (
+	"testing"
+
+	"multikernel/internal/topo"
+)
+
+func TestRawShootdownSingleCoreIsFree(t *testing.T) {
+	if got := RawShootdownLatency(topo.AMD8x4(), Broadcast, 1, 3); got != 0 {
+		t.Fatalf("1-core shootdown latency=%v", got)
+	}
+}
+
+func TestRawShootdownAllProtocolsComplete(t *testing.T) {
+	m := topo.AMD8x4()
+	for _, proto := range []Protocol{Broadcast, Unicast, Multicast, NUMAAware} {
+		lat := RawShootdownLatency(m, proto, 8, 4)
+		if lat <= 0 {
+			t.Errorf("%v: latency %v", proto, lat)
+		}
+	}
+}
+
+// The qualitative result of Figure 6: at 32 cores, broadcast is worst,
+// unicast beats broadcast, multicast beats unicast, and NUMA-aware multicast
+// is best.
+func TestFigure6ProtocolOrderingAt32Cores(t *testing.T) {
+	m := topo.AMD8x4()
+	const iters = 6
+	b := RawShootdownLatency(m, Broadcast, 32, iters)
+	u := RawShootdownLatency(m, Unicast, 32, iters)
+	mc := RawShootdownLatency(m, Multicast, 32, iters)
+	numa := RawShootdownLatency(m, NUMAAware, 32, iters)
+	t.Logf("broadcast=%.0f unicast=%.0f multicast=%.0f numa=%.0f", b, u, mc, numa)
+	if !(numa <= mc && mc < u && u < b) {
+		t.Fatalf("ordering violated: broadcast=%.0f unicast=%.0f multicast=%.0f numa=%.0f", b, u, mc, numa)
+	}
+}
+
+// Broadcast should grow roughly linearly with core count; multicast should
+// grow much more slowly (steps at socket boundaries).
+func TestFigure6ScalingShape(t *testing.T) {
+	m := topo.AMD8x4()
+	const iters = 5
+	b8 := RawShootdownLatency(m, Broadcast, 8, iters)
+	b32 := RawShootdownLatency(m, Broadcast, 32, iters)
+	if b32 < 2.5*b8 {
+		t.Errorf("broadcast grew only %.0f -> %.0f from 8 to 32 cores", b8, b32)
+	}
+	n8 := RawShootdownLatency(m, NUMAAware, 8, iters)
+	n32 := RawShootdownLatency(m, NUMAAware, 32, iters)
+	if n32 > 3*n8 {
+		t.Errorf("NUMA multicast grew too fast: %.0f -> %.0f", n8, n32)
+	}
+	if n32 >= b32 {
+		t.Errorf("NUMA multicast (%.0f) not better than broadcast (%.0f) at 32 cores", n32, b32)
+	}
+}
+
+func TestRawShootdownUnknownProtocolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RawShootdownLatency(topo.AMD2x2(), Protocol(55), 4, 2)
+}

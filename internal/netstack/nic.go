@@ -1,0 +1,237 @@
+package netstack
+
+import (
+	"fmt"
+
+	"multikernel/internal/cache"
+	"multikernel/internal/memory"
+	"multikernel/internal/sim"
+	"multikernel/internal/topo"
+)
+
+// Frame is a raw Ethernet frame.
+type Frame []byte
+
+// Port is anything attachable to a wire end: a NIC or a load generator.
+type Port interface {
+	// Deliver hands a received frame to the port. It runs in engine context
+	// and must not block.
+	Deliver(f Frame)
+}
+
+// Wire is a full-duplex point-to-point Ethernet link with finite bandwidth
+// and propagation delay. Transmissions in one direction serialize; the two
+// directions are independent.
+type Wire struct {
+	e        *sim.Engine
+	bpc      float64 // bytes per cycle per direction
+	prop     sim.Time
+	a, b     Port
+	nextFree [2]sim.Time
+	// Stats
+	Bytes [2]uint64
+}
+
+// NewWire creates a link of the given gigabits per second on a machine
+// running at clockGHz (bandwidth is expressed in the simulation's cycle
+// domain).
+func NewWire(e *sim.Engine, gbps, clockGHz float64) *Wire {
+	return &Wire{
+		e:    e,
+		bpc:  gbps * 1e9 / 8 / (clockGHz * 1e9),
+		prop: sim.Time(clockGHz * 1000), // ~1µs one way
+	}
+}
+
+// Attach connects the two ports.
+func (w *Wire) Attach(a, b Port) { w.a, w.b = a, b }
+
+// transmit sends a frame from the given end, modelling serialization and
+// propagation delay. Callable from engine context or procs.
+func (w *Wire) transmit(fromA bool, f Frame) {
+	dir := 0
+	dst := w.b
+	if !fromA {
+		dir = 1
+		dst = w.a
+	}
+	if dst == nil {
+		return
+	}
+	now := w.e.Now()
+	start := now
+	if w.nextFree[dir] > start {
+		start = w.nextFree[dir]
+	}
+	tx := sim.Time(float64(len(f)) / w.bpc)
+	w.nextFree[dir] = start + tx
+	w.Bytes[dir] += uint64(len(f))
+	w.e.After(start-now+tx+w.prop, func() { dst.Deliver(f) })
+}
+
+// Transmit sends a frame from the given end of the wire. External load
+// generators (which model machines outside the simulated host) use this
+// directly; NICs use it internally.
+func (w *Wire) Transmit(fromA bool, f Frame) { w.transmit(fromA, f) }
+
+// Utilization returns the fraction of one direction's bandwidth used over
+// elapsed cycles.
+func (w *Wire) Utilization(fromA bool, elapsed sim.Time) float64 {
+	dir := 0
+	if !fromA {
+		dir = 1
+	}
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(w.Bytes[dir]) / (w.bpc * float64(elapsed))
+}
+
+// NIC device parameters.
+const (
+	nicRings    = 32 // descriptors per ring
+	nicBufLines = 24 // 1536 bytes per buffer
+	nicDMALat   = 900
+	nicDoorbell = 250 // PIO write cost at the driver core
+)
+
+// NICStats counts device activity.
+type NICStats struct {
+	RxFrames, TxFrames uint64
+	RxDropped          uint64
+	Interrupts         uint64
+}
+
+// NIC is an e1000-style device: receive and transmit descriptor rings plus
+// packet buffers in simulated host memory, DMA, and interrupt (or polled)
+// receive. The driver side runs on a core and pays coherent-memory costs;
+// the device side runs in engine time and pays DMA latency and wire time.
+type NIC struct {
+	Name   string
+	e      *sim.Engine
+	sys    *cache.System
+	socket topo.SocketID
+
+	wire *Wire
+	isA  bool
+
+	rxDescs memory.Region
+	rxBufs  memory.Region
+	txDescs memory.Region
+	txBufs  memory.Region
+
+	rxDev, rxDrv uint64 // device produce / driver consume indices
+	txDrv, txDev uint64
+	rxSizes      [nicRings]int
+	txSizes      [nicRings]int
+	txFrames     [nicRings]Frame
+
+	intr  func() // driver-installed interrupt handler (engine context)
+	stats NICStats
+}
+
+// NewNIC creates a NIC attached to the machine's I/O socket, with its rings
+// and buffers in host memory homed there.
+func NewNIC(e *sim.Engine, sys *cache.System, name string, wire *Wire, isA bool) *NIC {
+	mem := sys.Memory()
+	socket := sys.Machine().IOSocket
+	n := &NIC{
+		Name:    name,
+		e:       e,
+		sys:     sys,
+		socket:  socket,
+		wire:    wire,
+		isA:     isA,
+		rxDescs: mem.AllocLines(nicRings, socket),
+		rxBufs:  mem.AllocLines(nicRings*nicBufLines, socket),
+		txDescs: mem.AllocLines(nicRings, socket),
+		txBufs:  mem.AllocLines(nicRings*nicBufLines, socket),
+	}
+	return n
+}
+
+// Stats returns a copy of the device counters.
+func (n *NIC) Stats() NICStats { return n.stats }
+
+// OnInterrupt installs the receive-interrupt handler (typically waking the
+// driver proc). A nil handler leaves the device in polled mode.
+func (n *NIC) OnInterrupt(fn func()) { n.intr = fn }
+
+// Deliver implements Port: the device DMA-writes the frame into the next
+// receive buffer, publishes the descriptor and raises an interrupt.
+func (n *NIC) Deliver(f Frame) {
+	if n.rxDev-n.rxDrv >= nicRings {
+		n.stats.RxDropped++
+		return
+	}
+	slot := n.rxDev % nicRings
+	n.e.After(nicDMALat, func() {
+		base := n.rxBufs.LineAt(int(slot) * nicBufLines)
+		n.sys.DMAWrite(base, f, n.socket)
+		n.rxSizes[slot] = len(f)
+		// Publish the descriptor: DMA write to the descriptor line.
+		n.sys.DMAWrite(n.rxDescs.LineAt(int(slot)), []byte{1}, n.socket)
+		n.rxDev++
+		n.stats.RxFrames++
+		if n.intr != nil {
+			n.stats.Interrupts++
+			n.intr()
+		}
+	})
+}
+
+// Poll checks for a received frame from the driver core, paying the
+// descriptor and buffer reads through the cache. It returns nil when the
+// ring is empty.
+func (n *NIC) Poll(p *sim.Proc, core topo.CoreID) Frame {
+	if n.rxDrv >= n.rxDev {
+		// Check the descriptor anyway, as a real driver would.
+		n.sys.Load(p, core, n.rxDescs.LineAt(int(n.rxDrv%nicRings)))
+		return nil
+	}
+	slot := n.rxDrv % nicRings
+	n.sys.Load(p, core, n.rxDescs.LineAt(int(slot)))
+	size := n.rxSizes[slot]
+	base := n.rxBufs.LineAt(int(slot) * nicBufLines)
+	for i := 0; i*memory.LineSize < size; i++ {
+		n.sys.LoadLine(p, core, base+memory.Addr(i*memory.LineSize))
+	}
+	f := Frame(n.sys.Memory().LoadBytes(base, size))
+	n.rxDrv++
+	return f
+}
+
+// Transmit queues a frame for transmission from the driver core: the frame
+// is written into a transmit buffer, its descriptor published, and the
+// doorbell rung; the device then DMA-reads it and puts it on the wire.
+func (n *NIC) Transmit(p *sim.Proc, core topo.CoreID, f Frame) error {
+	if n.txDrv-n.txDev >= nicRings {
+		return fmt.Errorf("netstack: %s transmit ring full", n.Name)
+	}
+	slot := n.txDrv % nicRings
+	base := n.txBufs.LineAt(int(slot) * nicBufLines)
+	var zero [memory.WordsPerLine]uint64
+	for i := 0; i*memory.LineSize < len(f); i++ {
+		n.sys.StoreLine(p, core, base+memory.Addr(i*memory.LineSize), zero)
+	}
+	n.sys.Memory().StoreBytes(base, f)
+	n.txSizes[slot] = len(f)
+	n.txFrames[slot] = append(Frame(nil), f...)
+	n.sys.Store(p, core, n.txDescs.LineAt(int(slot)), slot+1)
+	n.txDrv++
+	p.Sleep(nicDoorbell)
+	n.e.After(nicDMALat, n.deviceTx)
+	return nil
+}
+
+// deviceTx drains the transmit ring onto the wire (engine context).
+func (n *NIC) deviceTx() {
+	for n.txDev < n.txDrv {
+		slot := n.txDev % nicRings
+		f := n.txFrames[slot]
+		n.txFrames[slot] = nil
+		n.txDev++
+		n.stats.TxFrames++
+		n.wire.transmit(n.isA, f)
+	}
+}

@@ -1,0 +1,215 @@
+// Package sim provides a deterministic discrete-event simulation engine with
+// a virtual clock measured in CPU cycles.
+//
+// Simulated activities run as Procs: each Proc is backed by a goroutine, but
+// the engine guarantees that at most one Proc executes at a time and that all
+// wakeups are ordered by (virtual time, schedule sequence). Simulation state
+// shared between Procs therefore needs no locking, and runs are bit-for-bit
+// reproducible for a given seed.
+//
+// The engine is the substrate for every hardware and OS model in this
+// repository: cores, caches, interconnect links, CPU drivers, monitors and
+// applications are all Procs exchanging virtual time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is a point in virtual time, measured in cycles.
+type Time uint64
+
+// Forever is a sentinel duration meaning "no timeout".
+const Forever = Time(1) << 62
+
+type event struct {
+	at  Time
+	seq uint64
+	p   *Proc  // proc to resume, or nil
+	fn  func() // callback to invoke, if p == nil
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) peek() *event       { return h[0] }
+func (h *eventHeap) pushEv(e *event)   { heap.Push(h, e) }
+func (h *eventHeap) popEv() (e *event) { return heap.Pop(h).(*event) }
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	procs   map[*Proc]struct{}
+	running *Proc
+	yield   chan struct{}
+	rng     *RNG
+	trace   func(t Time, who, msg string)
+	stopped bool
+	nextID  int
+}
+
+// NewEngine returns an engine with its clock at zero and the given RNG seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{
+		procs: make(map[*Proc]struct{}),
+		yield: make(chan struct{}),
+		rng:   NewRNG(seed),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's deterministic random number generator.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// SetTrace installs a trace hook invoked by Proc.Tracef. A nil hook disables
+// tracing.
+func (e *Engine) SetTrace(fn func(t Time, who, msg string)) { e.trace = fn }
+
+func (e *Engine) schedule(d Time, p *Proc, fn func()) *event {
+	e.seq++
+	ev := &event{at: e.now + d, seq: e.seq, p: p, fn: fn}
+	e.events.pushEv(ev)
+	return ev
+}
+
+// After invokes fn at the current time plus d. fn runs in engine context and
+// must not block; to perform blocking work, have fn wake a Proc.
+func (e *Engine) After(d Time, fn func()) { e.schedule(d, nil, fn) }
+
+// Spawn creates a new Proc executing fn and schedules it to start at the
+// current virtual time. fn runs in its own goroutine under engine control.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	e.nextID++
+	p := &Proc{e: e, id: e.nextID, name: name, resume: make(chan struct{})}
+	e.procs[p] = struct{}{}
+	go func() {
+		<-p.resume
+		defer func() {
+			r := recover()
+			p.done = true
+			delete(e.procs, p)
+			if r != nil && r != errKilled {
+				// A genuine panic inside simulated code: crash loudly so the
+				// bug is visible, after releasing the engine.
+				go func() { panic(fmt.Sprintf("sim: proc %q panicked at t=%d: %v", p.name, e.now, r)) }()
+			}
+			e.yield <- struct{}{}
+		}()
+		if p.killed {
+			panic(errKilled)
+		}
+		fn(p)
+	}()
+	e.schedule(0, p, nil)
+	return p
+}
+
+// step processes a single event. Reports whether an event was processed.
+func (e *Engine) step() bool {
+	for e.events.Len() > 0 {
+		ev := e.events.popEv()
+		if ev.at < e.now {
+			panic("sim: event scheduled in the past")
+		}
+		e.now = ev.at
+		if ev.fn != nil {
+			ev.fn()
+			return true
+		}
+		p := ev.p
+		if p.done || p.killed {
+			continue
+		}
+		e.running = p
+		p.resume <- struct{}{}
+		<-e.yield
+		e.running = nil
+		return true
+	}
+	return false
+}
+
+// Run processes events until the event queue is empty or Stop is called.
+// Procs that are parked with no pending wakeup remain parked; use Deadlocked
+// to inspect them.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.step() {
+	}
+}
+
+// RunUntil processes events up to and including virtual time t.
+func (e *Engine) RunUntil(t Time) {
+	e.stopped = false
+	for !e.stopped && e.events.Len() > 0 && e.events.peek().at <= t && e.step() {
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Stop makes Run return after the current event completes. It may be called
+// from engine callbacks or Procs.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Deadlocked returns the names of non-daemon procs that are alive but parked
+// with no scheduled wakeup. An empty result after Run means the simulation
+// quiesced cleanly.
+func (e *Engine) Deadlocked() []string {
+	var out []string
+	for p := range e.procs {
+		if !p.daemon && p.waiting {
+			out = append(out, p.name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close terminates all live procs, releasing their goroutines. The engine
+// must not be used afterwards.
+func (e *Engine) Close() {
+	for len(e.procs) > 0 {
+		var victim *Proc
+		for p := range e.procs {
+			if victim == nil || p.id < victim.id {
+				victim = p
+			}
+		}
+		victim.killed = true
+		victim.resume <- struct{}{}
+		<-e.yield
+	}
+}
+
+// CheckQuiesced is a test helper: it panics if any non-daemon proc is still
+// parked after Run.
+func (e *Engine) CheckQuiesced() {
+	if d := e.Deadlocked(); len(d) > 0 {
+		panic("sim: deadlocked procs: " + strings.Join(d, ", "))
+	}
+}

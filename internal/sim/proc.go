@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// errKilled is panicked inside a proc goroutine when the engine shuts it
+// down; the spawn wrapper recovers it.
+var errKilled = errors.New("sim: proc killed")
+
+// Proc is a simulated sequential activity (a core, a device, an OS service,
+// an application thread). All Proc methods must be called from the proc's own
+// goroutine unless documented otherwise.
+type Proc struct {
+	e    *Engine
+	id   int
+	name string
+
+	resume  chan struct{}
+	done    bool
+	killed  bool
+	daemon  bool
+	waiting bool // parked, waiting for Unpark
+	token   bool // a wakeup arrived before Park
+	timeout bool // last ParkTimeout expired
+	parkSeq uint64
+}
+
+// Engine returns the engine this proc belongs to.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Name returns the proc's name.
+func (p *Proc) Name() string { return p.name }
+
+// SetDaemon marks the proc as a daemon: it is expected to park forever (for
+// example, a server waiting for requests) and is excluded from deadlock
+// reports. Safe to call from any context before or during the run.
+func (p *Proc) SetDaemon(on bool) { p.daemon = on }
+
+// yieldToEngine hands control back to the engine and blocks until resumed.
+func (p *Proc) yieldToEngine() {
+	p.e.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(errKilled)
+	}
+}
+
+// Sleep advances the proc's local time by d cycles. Other events proceed in
+// the meantime. Sleep(0) yields: the proc is rescheduled after all events
+// already queued for the current cycle.
+func (p *Proc) Sleep(d Time) {
+	p.e.schedule(d, p, nil)
+	p.yieldToEngine()
+}
+
+// Park blocks the proc until another activity calls Unpark. If an Unpark
+// arrived since the last Park (a "token"), Park consumes it and returns
+// immediately, so the Unpark/Park pair cannot race in virtual time.
+func (p *Proc) Park() {
+	if p.token {
+		p.token = false
+		return
+	}
+	p.parkSeq++
+	p.waiting = true
+	p.yieldToEngine()
+}
+
+// ParkTimeout is Park with a timeout of d cycles. It reports whether the wait
+// timed out rather than being ended by Unpark. Pass Forever for no timeout.
+func (p *Proc) ParkTimeout(d Time) (timedOut bool) {
+	if p.token {
+		p.token = false
+		return false
+	}
+	p.parkSeq++
+	seq := p.parkSeq
+	p.waiting = true
+	p.timeout = false
+	if d < Forever {
+		p.e.After(d, func() {
+			if p.waiting && p.parkSeq == seq {
+				p.timeout = true
+				p.waiting = false
+				p.e.schedule(0, p, nil)
+			}
+		})
+	}
+	p.yieldToEngine()
+	return p.timeout
+}
+
+// Unpark wakes target if it is parked, or leaves a token making its next Park
+// return immediately. It may be called from any proc or engine callback, and
+// is idempotent while the target remains parked-and-signalled.
+func (p *Proc) Unpark(target *Proc) { p.e.Wake(target) }
+
+// Wake is Unpark callable from engine callbacks (timers, device models).
+func (e *Engine) Wake(target *Proc) {
+	if target.done || target.killed {
+		return
+	}
+	if target.waiting {
+		target.waiting = false
+		e.schedule(0, target, nil)
+		return
+	}
+	target.token = true
+}
+
+// Tracef emits a trace record through the engine's trace hook, if installed.
+func (p *Proc) Tracef(format string, args ...any) {
+	if p.e.trace != nil {
+		p.e.trace(p.e.now, p.name, fmt.Sprintf(format, args...))
+	}
+}

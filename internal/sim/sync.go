@@ -1,0 +1,196 @@
+package sim
+
+// Resource is a FIFO-fair counting semaphore in virtual time. It models a
+// serially-occupied facility: a cache line mid-transfer, a memory controller,
+// a single-threaded server. Acquire while full queues the caller; Release
+// hands the slot directly to the oldest waiter, preserving arrival order.
+type Resource struct {
+	e       *Engine
+	cap     int
+	inUse   int
+	waiters []*Proc
+}
+
+// NewResource returns a resource with the given capacity (number of
+// concurrent holders). Capacity must be at least 1.
+func NewResource(e *Engine, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{e: e, cap: capacity}
+}
+
+// Acquire obtains a slot, blocking p in FIFO order if none is free.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.cap && len(r.waiters) == 0 {
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.Park()
+}
+
+// TryAcquire obtains a slot without blocking. It reports whether it
+// succeeded.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.cap && len(r.waiters) == 0 {
+		r.inUse++
+		return true
+	}
+	return false
+}
+
+// Release frees a slot, transferring it to the oldest waiter if any.
+// It may be called from any proc or engine callback.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: release of unheld resource")
+	}
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		copy(r.waiters, r.waiters[1:])
+		r.waiters = r.waiters[:len(r.waiters)-1]
+		r.e.Wake(w) // slot ownership transfers; inUse unchanged
+		return
+	}
+	r.inUse--
+}
+
+// InUse returns the number of currently-held slots.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of procs waiting to acquire.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Use acquires the resource, holds it for d cycles, then releases it. This is
+// the common pattern for occupying a facility for a fixed service time.
+func (r *Resource) Use(p *Proc, d Time) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}
+
+// Queue is an unbounded FIFO of items with blocking receive, usable as a
+// mailbox between procs. Push never blocks; Pop parks until an item arrives.
+type Queue[T any] struct {
+	e       *Engine
+	items   []T
+	waiters []*Proc
+}
+
+// NewQueue returns an empty queue bound to e.
+func NewQueue[T any](e *Engine) *Queue[T] { return &Queue[T]{e: e} }
+
+// Push appends v and wakes the oldest waiting consumer, if any. It may be
+// called from any proc or engine callback.
+func (q *Queue[T]) Push(v T) {
+	q.items = append(q.items, v)
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		copy(q.waiters, q.waiters[1:])
+		q.waiters = q.waiters[:len(q.waiters)-1]
+		q.e.Wake(w)
+	}
+}
+
+// Pop removes and returns the oldest item, parking p until one is available.
+func (q *Queue[T]) Pop(p *Proc) T {
+	for len(q.items) == 0 {
+		q.waiters = append(q.waiters, p)
+		p.Park()
+	}
+	v := q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v
+}
+
+// TryPop removes and returns the oldest item without blocking.
+func (q *Queue[T]) TryPop() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Future is a one-shot value that procs can await: the virtual-time analogue
+// of a completion for a split-phase operation.
+type Future[T any] struct {
+	e       *Engine
+	done    bool
+	v       T
+	waiters []*Proc
+}
+
+// NewFuture returns an incomplete future bound to e.
+func NewFuture[T any](e *Engine) *Future[T] { return &Future[T]{e: e} }
+
+// Complete resolves the future and wakes all waiters. Completing twice
+// panics: split-phase operations finish exactly once.
+func (f *Future[T]) Complete(v T) {
+	if f.done {
+		panic("sim: future completed twice")
+	}
+	f.done = true
+	f.v = v
+	for _, w := range f.waiters {
+		f.e.Wake(w)
+	}
+	f.waiters = nil
+}
+
+// Done reports whether the future has been completed.
+func (f *Future[T]) Done() bool { return f.done }
+
+// Await parks p until the future completes, then returns its value.
+func (f *Future[T]) Await(p *Proc) T {
+	for !f.done {
+		f.waiters = append(f.waiters, p)
+		p.Park()
+	}
+	return f.v
+}
+
+// WaitGroup counts outstanding activities in virtual time.
+type WaitGroup struct {
+	e       *Engine
+	n       int
+	waiters []*Proc
+}
+
+// NewWaitGroup returns a wait group bound to e.
+func NewWaitGroup(e *Engine) *WaitGroup { return &WaitGroup{e: e} }
+
+// Add increments the outstanding count by delta (which may be negative).
+// When the count reaches zero all waiters are woken.
+func (w *WaitGroup) Add(delta int) {
+	w.n += delta
+	if w.n < 0 {
+		panic("sim: negative waitgroup count")
+	}
+	if w.n == 0 {
+		for _, p := range w.waiters {
+			w.e.Wake(p)
+		}
+		w.waiters = nil
+	}
+}
+
+// Done decrements the outstanding count by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait parks p until the count is zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	for w.n > 0 {
+		w.waiters = append(w.waiters, p)
+		p.Park()
+	}
+}

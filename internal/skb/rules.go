@@ -1,0 +1,299 @@
+package skb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file adds a small Datalog-style inference engine to the knowledge
+// base. The paper's SKB embeds the ECLiPSe constraint-logic-programming
+// system and expresses placement policy as logical rules over hardware
+// facts; this engine provides the same flavour for the queries the
+// evaluation needs: derived relations computed as the fixpoint of Horn
+// rules over the fact store, e.g.
+//
+//	reach(A, B) :- link(A, B).
+//	reach(A, C) :- reach(A, B), link(B, C).
+//
+// Terms are integers; variables are named strings. Built-in relations
+// (`ne`, `lt`, `add`) cover the arithmetic the policies use.
+
+// Term is either a constant (Var == "") or a variable reference.
+type Term struct {
+	Var   string
+	Const int64
+}
+
+// V names a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// C makes a constant term.
+func C(v int64) Term { return Term{Const: v} }
+
+// Atom is a predicate applied to terms: pred(t1, ..., tn).
+type Atom struct {
+	Pred  string
+	Terms []Term
+}
+
+// A builds an atom.
+func A(pred string, terms ...Term) Atom { return Atom{Pred: pred, Terms: terms} }
+
+func (a Atom) String() string {
+	parts := make([]string, len(a.Terms))
+	for i, t := range a.Terms {
+		if t.Var != "" {
+			parts[i] = t.Var
+		} else {
+			parts[i] = fmt.Sprint(t.Const)
+		}
+	}
+	return a.Pred + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Rule is a Horn clause: Head :- Body[0], Body[1], ...
+type Rule struct {
+	Head Atom
+	Body []Atom
+}
+
+// R builds a rule.
+func R(head Atom, body ...Atom) Rule { return Rule{Head: head, Body: body} }
+
+func (r Rule) String() string {
+	if len(r.Body) == 0 {
+		return r.Head.String() + "."
+	}
+	parts := make([]string, len(r.Body))
+	for i, b := range r.Body {
+		parts[i] = b.String()
+	}
+	return r.Head.String() + " :- " + strings.Join(parts, ", ") + "."
+}
+
+// bindings maps variable names to values during rule evaluation.
+type bindings map[string]int64
+
+func (b bindings) clone() bindings {
+	nb := make(bindings, len(b)+1)
+	for k, v := range b {
+		nb[k] = v
+	}
+	return nb
+}
+
+// unify matches an atom's terms against a fact row under b, returning the
+// extended bindings or nil.
+func unify(terms []Term, row []int64, b bindings) bindings {
+	if len(terms) != len(row) {
+		return nil
+	}
+	nb := b
+	cloned := false
+	for i, t := range terms {
+		want := row[i]
+		if t.Var == "" {
+			if t.Const != want {
+				return nil
+			}
+			continue
+		}
+		if v, ok := nb[t.Var]; ok {
+			if v != want {
+				return nil
+			}
+			continue
+		}
+		if !cloned {
+			nb = nb.clone()
+			cloned = true
+		}
+		nb[t.Var] = want
+	}
+	return nb
+}
+
+// evalBuiltin evaluates the built-in relations. It returns (newBindings,
+// handled, ok): handled=false means the predicate is not a built-in.
+func evalBuiltin(a Atom, b bindings) (bindings, bool, bool) {
+	val := func(t Term) (int64, bool) {
+		if t.Var == "" {
+			return t.Const, true
+		}
+		v, ok := b[t.Var]
+		return v, ok
+	}
+	switch a.Pred {
+	case "ne", "lt", "le":
+		x, okx := val(a.Terms[0])
+		y, oky := val(a.Terms[1])
+		if !okx || !oky {
+			return nil, true, false // built-ins need ground arguments
+		}
+		switch a.Pred {
+		case "ne":
+			return b, true, x != y
+		case "lt":
+			return b, true, x < y
+		default:
+			return b, true, x <= y
+		}
+	case "add": // add(X, Y, Z): Z = X + Y, Z may be unbound
+		x, okx := val(a.Terms[0])
+		y, oky := val(a.Terms[1])
+		if !okx || !oky {
+			return nil, true, false
+		}
+		z := a.Terms[2]
+		if z.Var == "" {
+			return b, true, z.Const == x+y
+		}
+		if v, ok := b[z.Var]; ok {
+			return b, true, v == x+y
+		}
+		nb := b.clone()
+		nb[z.Var] = x + y
+		return nb, true, true
+	}
+	return nil, false, false
+}
+
+// matchBody enumerates all bindings satisfying the body atoms in order.
+func (kb *KB) matchBody(body []Atom, b bindings, out func(bindings)) {
+	if len(body) == 0 {
+		out(b)
+		return
+	}
+	head, rest := body[0], body[1:]
+	if nb, handled, ok := evalBuiltin(head, b); handled {
+		if ok {
+			kb.matchBody(rest, nb, out)
+		}
+		return
+	}
+	for _, row := range kb.facts[head.Pred] {
+		if nb := unify(head.Terms, row, b); nb != nil {
+			kb.matchBody(rest, nb, out)
+		}
+	}
+}
+
+// instantiate grounds an atom under bindings; all variables must be bound.
+func instantiate(a Atom, b bindings) ([]int64, error) {
+	row := make([]int64, len(a.Terms))
+	for i, t := range a.Terms {
+		if t.Var == "" {
+			row[i] = t.Const
+			continue
+		}
+		v, ok := b[t.Var]
+		if !ok {
+			return nil, fmt.Errorf("skb: unbound variable %q in %v", t.Var, a)
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+// Infer computes the fixpoint of the given rules over the current facts,
+// asserting every newly derived fact. It returns the number of facts added
+// and an error if a rule head contains a variable its body never binds.
+func (kb *KB) Infer(rules []Rule) (int, error) {
+	type key string
+	seen := make(map[string]map[key]bool)
+	mark := func(pred string, row []int64) bool {
+		m := seen[pred]
+		if m == nil {
+			m = make(map[key]bool)
+			seen[pred] = m
+		}
+		k := key(fmt.Sprint(row))
+		if m[k] {
+			return false
+		}
+		m[k] = true
+		return true
+	}
+	for pred, rows := range kb.facts {
+		for _, row := range rows {
+			mark(pred, row)
+		}
+	}
+
+	added := 0
+	var evalErr error
+	for {
+		newThisPass := 0
+		for _, r := range rules {
+			kb.matchBody(r.Body, bindings{}, func(b bindings) {
+				row, err := instantiate(r.Head, b)
+				if err != nil {
+					evalErr = err
+					return
+				}
+				if mark(r.Head.Pred, row) {
+					kb.Assert(r.Head.Pred, row...)
+					newThisPass++
+					added++
+				}
+			})
+			if evalErr != nil {
+				return added, evalErr
+			}
+		}
+		if newThisPass == 0 {
+			return added, nil
+		}
+	}
+}
+
+// SortedRows returns pred's rows in lexicographic order, for deterministic
+// policy decisions derived from inferred relations.
+func (kb *KB) SortedRows(pred string) [][]int64 {
+	rows := append([][]int64(nil), kb.facts[pred]...)
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return rows
+}
+
+// StandardRules returns the policy rules the multikernel derives routes
+// from: socket reachability with hop counts and same-socket core pairs.
+//
+//	route(A, B, 1)   :- link(A, B).
+//	route(A, C, N+1) :- route(A, B, N), link(B, C), A != C, N < 8.
+//	samesocket(X, Y) :- core(X, S), core(Y, S), X != Y.
+func StandardRules() []Rule {
+	return []Rule{
+		R(A("route", V("A"), V("B"), C(1)), A("link", V("A"), V("B"))),
+		R(A("route", V("A"), V("C"), V("M")),
+			A("route", V("A"), V("B"), V("N")),
+			A("link", V("B"), V("C")),
+			A("ne", V("A"), V("C")),
+			A("lt", V("N"), C(8)),
+			A("add", V("N"), C(1), V("M"))),
+		R(A("samesocket", V("X"), V("Y")),
+			A("core", V("X"), V("S")),
+			A("core", V("Y"), V("S")),
+			A("ne", V("X"), V("Y"))),
+	}
+}
+
+// MinRoute returns the minimum inferred route length between two sockets
+// (after Infer(StandardRules())), or -1 if unreachable.
+func (kb *KB) MinRoute(a, b int64) int64 {
+	best := int64(-1)
+	for _, row := range kb.Query("route", a, b, Wildcard) {
+		if best < 0 || row[2] < best {
+			best = row[2]
+		}
+	}
+	return best
+}

@@ -1,0 +1,182 @@
+package skb
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"multikernel/internal/topo"
+)
+
+func TestInferTransitiveClosure(t *testing.T) {
+	kb := New(topo.AMD2x2())
+	kb.Assert("edge", 1, 2)
+	kb.Assert("edge", 2, 3)
+	kb.Assert("edge", 3, 4)
+	rules := []Rule{
+		R(A("path", V("X"), V("Y")), A("edge", V("X"), V("Y"))),
+		R(A("path", V("X"), V("Z")), A("path", V("X"), V("Y")), A("edge", V("Y"), V("Z"))),
+	}
+	added, err := kb.Infer(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// paths: 1-2,2-3,3-4,1-3,2-4,1-4 = 6
+	if kb.Count("path") != 6 {
+		t.Fatalf("path count=%d, want 6 (added %d)", kb.Count("path"), added)
+	}
+	if kb.QueryOne("path", 1, 4) == nil {
+		t.Fatal("transitive path 1->4 missing")
+	}
+	if kb.QueryOne("path", 4, 1) != nil {
+		t.Fatal("reverse path derived from nothing")
+	}
+}
+
+func TestInferFixpointTerminates(t *testing.T) {
+	kb := New(topo.AMD2x2())
+	kb.Assert("edge", 1, 2)
+	kb.Assert("edge", 2, 1) // cycle
+	rules := []Rule{
+		R(A("path", V("X"), V("Y")), A("edge", V("X"), V("Y"))),
+		R(A("path", V("X"), V("Z")), A("path", V("X"), V("Y")), A("path", V("Y"), V("Z"))),
+	}
+	if _, err := kb.Infer(rules); err != nil {
+		t.Fatal(err)
+	}
+	// Closure over the 2-cycle: 1-2, 2-1, 1-1, 2-2.
+	if kb.Count("path") != 4 {
+		t.Fatalf("path count=%d, want 4", kb.Count("path"))
+	}
+}
+
+func TestInferRerunIsIdempotent(t *testing.T) {
+	kb := New(topo.AMD2x2())
+	kb.Assert("edge", 1, 2)
+	rules := []Rule{R(A("path", V("X"), V("Y")), A("edge", V("X"), V("Y")))}
+	kb.Infer(rules)
+	added, _ := kb.Infer(rules)
+	if added != 0 {
+		t.Fatalf("second run added %d facts", added)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	kb := New(topo.AMD2x2())
+	kb.Assert("n", 1)
+	kb.Assert("n", 2)
+	kb.Assert("n", 3)
+	rules := []Rule{
+		R(A("pair", V("X"), V("Y")), A("n", V("X")), A("n", V("Y")), A("lt", V("X"), V("Y"))),
+		R(A("sum", V("X"), V("Y"), V("Z")), A("pair", V("X"), V("Y")), A("add", V("X"), V("Y"), V("Z"))),
+	}
+	if _, err := kb.Infer(rules); err != nil {
+		t.Fatal(err)
+	}
+	if kb.Count("pair") != 3 { // (1,2) (1,3) (2,3)
+		t.Fatalf("pair count=%d", kb.Count("pair"))
+	}
+	if kb.QueryOne("sum", 1, 2, 3) == nil || kb.QueryOne("sum", 2, 3, 5) == nil {
+		t.Fatal("add builtin wrong")
+	}
+}
+
+func TestUnboundHeadVariableErrors(t *testing.T) {
+	kb := New(topo.AMD2x2())
+	kb.Assert("f", 1)
+	rules := []Rule{R(A("g", V("X"), V("Y")), A("f", V("X")))}
+	if _, err := kb.Infer(rules); err == nil {
+		t.Fatal("unbound head variable accepted")
+	}
+}
+
+func TestStandardRulesDeriveRoutes(t *testing.T) {
+	m := topo.AMD8x4()
+	kb := New(m)
+	kb.Discover()
+	if _, err := kb.Infer(StandardRules()); err != nil {
+		t.Fatal(err)
+	}
+	// Inferred minimum route lengths must equal the machine's BFS hops.
+	for a := 0; a < m.NSockets; a++ {
+		for b := 0; b < m.NSockets; b++ {
+			if a == b {
+				continue
+			}
+			want := int64(m.Hops(topo.SocketID(a), topo.SocketID(b)))
+			if got := kb.MinRoute(int64(a), int64(b)); got != want {
+				t.Fatalf("route %d->%d: inferred %d, BFS %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestStandardRulesSameSocket(t *testing.T) {
+	m := topo.AMD4x4()
+	kb := New(m)
+	kb.Discover()
+	kb.Infer(StandardRules())
+	if kb.QueryOne("samesocket", 0, 1) == nil {
+		t.Fatal("cores 0,1 not derived as same socket")
+	}
+	if kb.QueryOne("samesocket", 0, 4) != nil {
+		t.Fatal("cores 0,4 wrongly same socket")
+	}
+	if kb.QueryOne("samesocket", 2, 2) != nil {
+		t.Fatal("reflexive samesocket derived despite ne guard")
+	}
+}
+
+func TestRuleAndAtomStrings(t *testing.T) {
+	r := R(A("path", V("X"), V("Z")), A("edge", V("X"), V("Y")), A("edge", V("Y"), C(7)))
+	s := r.String()
+	for _, want := range []string{"path(X,Z)", ":-", "edge(X,Y)", "edge(Y,7)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rule string %q missing %q", s, want)
+		}
+	}
+	if fact := R(A("f", C(1))).String(); fact != "f(1)." {
+		t.Fatalf("fact string %q", fact)
+	}
+}
+
+func TestSortedRowsDeterministic(t *testing.T) {
+	kb := New(topo.AMD2x2())
+	kb.Assert("r", 3, 1)
+	kb.Assert("r", 1, 2)
+	kb.Assert("r", 1, 1)
+	rows := kb.SortedRows("r")
+	if rows[0][0] != 1 || rows[0][1] != 1 || rows[2][0] != 3 {
+		t.Fatalf("rows: %v", rows)
+	}
+}
+
+// Property: inferred MinRoute always matches BFS hops on random meshes.
+func TestInferredRoutesMatchBFSProperty(t *testing.T) {
+	f := func(nx, ny uint8) bool {
+		w, h := int(nx%3)+1, int(ny%3)+1
+		if w*h < 2 {
+			return true
+		}
+		m := topo.Mesh(w, h, 1)
+		kb := New(m)
+		kb.Discover()
+		if _, err := kb.Infer(StandardRules()); err != nil {
+			return false
+		}
+		for a := 0; a < m.NSockets; a++ {
+			for b := 0; b < m.NSockets; b++ {
+				if a == b {
+					continue
+				}
+				if kb.MinRoute(int64(a), int64(b)) != int64(m.Hops(topo.SocketID(a), topo.SocketID(b))) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

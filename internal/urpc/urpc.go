@@ -1,0 +1,246 @@
+// Package urpc implements user-level RPC channels (paper §4.6): the only
+// inter-core communication mechanism in the multikernel. A channel is a ring
+// of cache-line-sized slots in shared memory, written by a single sender core
+// and polled by a single receiver core. The sender writes a message's payload
+// words followed by a sequence word; the receiver polls the sequence word, so
+// it can never observe a partially-written message.
+//
+// All transfer costs emerge from the cache-coherence model: a send
+// invalidates the receiver's cached copy of the slot (one interconnect round
+// trip) and the receiver's next poll fetches the line from the sender's cache
+// (the second round trip) — exactly the two-round-trip fast path the paper
+// describes for HyperTransport systems.
+package urpc
+
+import (
+	"fmt"
+
+	"multikernel/internal/cache"
+	"multikernel/internal/memory"
+	"multikernel/internal/sim"
+	"multikernel/internal/topo"
+)
+
+// PayloadWords is the number of 64-bit payload words per message; the eighth
+// word of the cache line carries the sequence number.
+const PayloadWords = 7
+
+// Message is one cache-line-sized URPC message.
+type Message [PayloadWords]uint64
+
+// DefaultSlots is the ring size used when none is specified — the queue
+// length of 16 the paper uses for pipelined throughput measurements.
+const DefaultSlots = 16
+
+// Software-path costs in cycles, charged on top of the coherence transfers.
+const (
+	sendSetupCost = 14 // channel bookkeeping before the line write
+	recvCheckCost = 10 // poll-loop check and branch
+	recvCopyCost  = 18 // copying the payload out and advancing state
+	pollGap       = 25 // cycles between successive idle polls
+)
+
+// Stats counts channel activity.
+type Stats struct {
+	Sent      uint64
+	Received  uint64
+	FullStall uint64 // sends that had to wait for ring space
+	Notifies  uint64 // blocked-receiver wakeups
+}
+
+// Channel is a unidirectional point-to-point URPC channel.
+type Channel struct {
+	sys      *cache.System
+	Sender   topo.CoreID
+	Receiver topo.CoreID
+
+	ring  memory.Region // slots lines
+	ack   memory.Region // one line: receiver's consumed count
+	slots int
+
+	sendSeq   uint64 // next sequence number to send (starts at 1)
+	recvSeq   uint64 // next sequence number to receive
+	sendAcked uint64 // sender's view of receiver progress (from the ack line)
+	published uint64 // receiver progress as last written to the ack line
+	prefetch  bool
+
+	blocked *sim.Proc // receiver parked awaiting notification, if any
+	stats   Stats
+}
+
+// Options configure channel construction.
+type Options struct {
+	// Slots is the ring size in messages; 0 means DefaultSlots.
+	Slots int
+	// Home is the NUMA socket for the ring buffer; -1 homes it on the
+	// receiver's socket (the NUMA-aware default from §5.1).
+	Home int
+	// Prefetch enables receiver-side prefetching of the next slot,
+	// trading single-message latency for pipelined throughput (§4.6).
+	Prefetch bool
+}
+
+// New creates a channel from sender to receiver over the given cache system.
+func New(sys *cache.System, sender, receiver topo.CoreID, opts Options) *Channel {
+	slots := opts.Slots
+	if slots == 0 {
+		slots = DefaultSlots
+	}
+	if slots < 2 {
+		panic("urpc: channel needs at least 2 slots")
+	}
+	home := topo.SocketID(opts.Home)
+	if opts.Home < 0 {
+		home = sys.Machine().Socket(receiver)
+	}
+	c := &Channel{
+		sys:      sys,
+		Sender:   sender,
+		Receiver: receiver,
+		ring:     sys.Memory().AllocLines(slots, home),
+		ack:      sys.Memory().AllocLines(1, home),
+		slots:    slots,
+		prefetch: opts.Prefetch,
+	}
+	return c
+}
+
+// Pair creates the two directions of a bidirectional link between a and b.
+func Pair(sys *cache.System, a, b topo.CoreID, opts Options) (ab, ba *Channel) {
+	return New(sys, a, b, opts), New(sys, b, a, opts)
+}
+
+// Stats returns a copy of the channel's counters.
+func (c *Channel) Stats() Stats { return c.stats }
+
+// Slots returns the ring size.
+func (c *Channel) Slots() int { return c.slots }
+
+func (c *Channel) slotAddr(seq uint64) memory.Addr {
+	return c.ring.LineAt(int(seq % uint64(c.slots)))
+}
+
+// CanSend reports whether the ring has space according to the sender's
+// current (possibly stale) view of receiver progress.
+func (c *Channel) CanSend() bool {
+	return c.sendSeq-c.sendAcked < uint64(c.slots)
+}
+
+// Send transmits msg, blocking (polling the ack line) while the ring is full.
+func (c *Channel) Send(p *sim.Proc, msg Message) {
+	for c.sendSeq-c.sendAcked >= uint64(c.slots) {
+		c.stats.FullStall++
+		// Re-read the receiver's published progress from the ack line.
+		c.sendAcked = c.sys.Load(p, c.Sender, c.ack.Base)
+		if c.sendSeq-c.sendAcked >= uint64(c.slots) {
+			p.Sleep(pollGap)
+		}
+	}
+	p.Sleep(sendSetupCost)
+	var line [memory.WordsPerLine]uint64
+	copy(line[:], msg[:])
+	line[PayloadWords] = c.sendSeq + 1 // sequence word written last
+	c.sys.StoreLine(p, c.Sender, c.slotAddr(c.sendSeq), line)
+	c.sendSeq++
+	c.stats.Sent++
+	if c.blocked != nil {
+		// The receiver exhausted its polling window and asked its monitor to
+		// notify it; model the notification as an IPI-cost wakeup (§5.2).
+		w := c.blocked
+		c.blocked = nil
+		c.stats.Notifies++
+		p.Sleep(c.sys.Machine().Costs.IPIDeliver)
+		p.Unpark(w)
+	}
+}
+
+// TryRecv polls once; it returns the next message if one is ready.
+func (c *Channel) TryRecv(p *sim.Proc) (Message, bool) {
+	var msg Message
+	slot := c.slotAddr(c.recvSeq)
+	seqWord := slot + memory.Addr(PayloadWords*8)
+	p.Sleep(recvCheckCost)
+	if c.sys.Load(p, c.Receiver, seqWord) != c.recvSeq+1 {
+		return msg, false
+	}
+	line := c.sys.LoadLine(p, c.Receiver, slot)
+	copy(msg[:], line[:PayloadWords])
+	p.Sleep(recvCopyCost)
+	c.recvSeq++
+	c.stats.Received++
+	// Publish progress so the sender can reuse slots. Writing every
+	// half-ring amortizes the reverse-direction coherence traffic; an idle
+	// ring publishes immediately so a stalled sender always makes progress.
+	if c.recvSeq-c.published >= uint64(c.slots)/2 || !c.Pending() {
+		c.sys.Store(p, c.Receiver, c.ack.Base, c.recvSeq)
+		c.published = c.recvSeq
+	}
+	if c.prefetch && c.recvSeq > 0 {
+		c.sys.Prefetch(p, c.Receiver, c.slotAddr(c.recvSeq))
+	}
+	return msg, true
+}
+
+// Recv polls until a message arrives. It never blocks the simulated core in
+// the scheduler sense — this is the dedicated-polling mode used by the
+// microbenchmarks.
+func (c *Channel) Recv(p *sim.Proc) Message {
+	for {
+		if m, ok := c.TryRecv(p); ok {
+			return m
+		}
+		p.Sleep(pollGap)
+	}
+}
+
+// RecvWindow polls for up to window cycles, then parks until the sender
+// notifies (the poll-then-block strategy of §5.2). The returned message is
+// always valid.
+func (c *Channel) RecvWindow(p *sim.Proc, window sim.Time) Message {
+	deadline := p.Now() + window
+	for {
+		if m, ok := c.TryRecv(p); ok {
+			return m
+		}
+		if p.Now() >= deadline {
+			break
+		}
+		p.Sleep(pollGap)
+	}
+	for {
+		if c.blocked != nil {
+			panic("urpc: second receiver blocked on channel")
+		}
+		c.blocked = p
+		p.Park()
+		c.blocked = nil
+		// Charge the wakeup path: trap + context switch back to us.
+		mc := c.sys.Machine().Costs
+		p.Sleep(mc.Trap + mc.CSwitch)
+		if m, ok := c.TryRecv(p); ok {
+			return m
+		}
+	}
+}
+
+// PrefetchSlot issues a software prefetch for the next expected message slot
+// from the receiver core. Polling loops over many channels use this to model
+// the hardware stride prefetcher the paper credits for the master's receive
+// loop performance (§5.1): by the time the slot is polled, its line is
+// already (or soon) local.
+func (c *Channel) PrefetchSlot(p *sim.Proc) {
+	c.sys.Prefetch(p, c.Receiver, c.slotAddr(c.recvSeq))
+}
+
+// Pending reports whether a message is ready without charging any cost
+// (engine-side inspection for tests and schedulers).
+func (c *Channel) Pending() bool {
+	slot := c.slotAddr(c.recvSeq)
+	seqWord := slot + memory.Addr(PayloadWords*8)
+	return c.sys.Memory().LoadWord(seqWord) == c.recvSeq+1
+}
+
+// String implements fmt.Stringer.
+func (c *Channel) String() string {
+	return fmt.Sprintf("urpc %d->%d (%d slots)", c.Sender, c.Receiver, c.slots)
+}

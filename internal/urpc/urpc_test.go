@@ -1,0 +1,296 @@
+package urpc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"multikernel/internal/cache"
+	"multikernel/internal/interconnect"
+	"multikernel/internal/memory"
+	"multikernel/internal/sim"
+	"multikernel/internal/topo"
+)
+
+func newSys(m *topo.Machine) (*sim.Engine, *cache.System) {
+	e := sim.NewEngine(1)
+	return e, cache.New(e, m, memory.New(m), interconnect.New(m))
+}
+
+func TestSingleMessageRoundTrip(t *testing.T) {
+	e, sys := newSys(topo.AMD2x2())
+	ch := New(sys, 0, 2, Options{Home: -1})
+	var got Message
+	e.Spawn("recv", func(p *sim.Proc) { got = ch.Recv(p) })
+	e.Spawn("send", func(p *sim.Proc) {
+		p.Sleep(100)
+		ch.Send(p, Message{1, 2, 3, 4, 5, 6, 7})
+	})
+	e.Run()
+	if got != (Message{1, 2, 3, 4, 5, 6, 7}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFIFOOrderAcrossManyMessages(t *testing.T) {
+	e, sys := newSys(topo.AMD4x4())
+	ch := New(sys, 0, 12, Options{Home: -1, Slots: 4})
+	const n = 100
+	var got []uint64
+	e.Spawn("recv", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			m := ch.Recv(p)
+			got = append(got, m[0])
+		}
+	})
+	e.Spawn("send", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			ch.Send(p, Message{uint64(i)})
+		}
+	})
+	e.Run()
+	e.CheckQuiesced()
+	if len(got) != n {
+		t.Fatalf("received %d messages", len(got))
+	}
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("message %d carried %d (reordering or loss)", i, v)
+		}
+	}
+	st := ch.Stats()
+	if st.Sent != n || st.Received != n {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestSenderBlocksWhenRingFull(t *testing.T) {
+	e, sys := newSys(topo.AMD2x2())
+	ch := New(sys, 0, 2, Options{Home: -1, Slots: 4})
+	e.Spawn("send", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			ch.Send(p, Message{uint64(i)})
+		}
+	})
+	e.Spawn("recv", func(p *sim.Proc) {
+		p.Sleep(50_000) // let the sender hit the full ring
+		for i := 0; i < 20; i++ {
+			ch.Recv(p)
+		}
+	})
+	e.Run()
+	e.CheckQuiesced()
+	if ch.Stats().FullStall == 0 {
+		t.Fatal("sender never stalled on a 4-slot ring with a slow receiver")
+	}
+	if ch.Stats().Received != 20 {
+		t.Fatalf("received %d", ch.Stats().Received)
+	}
+}
+
+func TestOneWayLatencyMatchesPaperBallpark(t *testing.T) {
+	// Paper Table 2: same-socket URPC on the 2×2 AMD system is ~450 cycles;
+	// cross-socket one-hop is ~530. Accept ±25%.
+	check := func(sender, receiver topo.CoreID, wantLo, wantHi sim.Time) {
+		e, sys := newSys(topo.AMD2x2())
+		ch := New(sys, sender, receiver, Options{Home: -1})
+		var sentAt, gotAt sim.Time
+		e.Spawn("recv", func(p *sim.Proc) {
+			ch.Recv(p) // warm-up message: fills the ack line and slot caches
+			ch.Recv(p)
+			gotAt = p.Now()
+		})
+		e.Spawn("send", func(p *sim.Proc) {
+			ch.Send(p, Message{1})
+			p.Sleep(2000)
+			sentAt = p.Now()
+			ch.Send(p, Message{42})
+		})
+		e.Run()
+		lat := gotAt - sentAt
+		if lat < wantLo || lat > wantHi {
+			t.Errorf("latency %d->%d = %d cycles, want in [%d, %d]", sender, receiver, lat, wantLo, wantHi)
+		}
+	}
+	check(0, 1, 340, 560) // same socket: ~450
+	check(0, 2, 400, 660) // one hop: ~532
+}
+
+func TestPipelinedThroughputBeatsLatencyBound(t *testing.T) {
+	e, sys := newSys(topo.AMD2x2())
+	ch := New(sys, 0, 2, Options{Home: -1, Slots: 16})
+	const n = 500
+	var start, end sim.Time
+	e.Spawn("recv", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			ch.Recv(p)
+		}
+		end = p.Now()
+	})
+	e.Spawn("send", func(p *sim.Proc) {
+		start = p.Now()
+		for i := 0; i < n; i++ {
+			ch.Send(p, Message{uint64(i)})
+		}
+	})
+	e.Run()
+	perMsg := (end - start) / n
+	// One-way latency is ~450 cycles; pipelining should push per-message cost
+	// well below it (paper: 3.42 msgs/kcycle = ~290 cycles/msg).
+	if perMsg >= 430 {
+		t.Fatalf("pipelined cost %d cycles/msg, want < 430", perMsg)
+	}
+}
+
+func TestRecvWindowBlocksAndIsNotified(t *testing.T) {
+	e, sys := newSys(topo.AMD2x2())
+	ch := New(sys, 0, 2, Options{Home: -1})
+	var got Message
+	var recvDone sim.Time
+	e.Spawn("recv", func(p *sim.Proc) {
+		got = ch.RecvWindow(p, 1000)
+		recvDone = p.Now()
+	})
+	e.Spawn("send", func(p *sim.Proc) {
+		p.Sleep(500_000) // far beyond the polling window
+		ch.Send(p, Message{7})
+	})
+	e.Run()
+	e.CheckQuiesced()
+	if got[0] != 7 {
+		t.Fatalf("got %v", got)
+	}
+	if recvDone < 500_000 {
+		t.Fatal("receiver completed before the message was sent")
+	}
+	if ch.Stats().Notifies != 1 {
+		t.Fatalf("notifies=%d, want 1", ch.Stats().Notifies)
+	}
+}
+
+func TestRecvWindowFastPathNoNotify(t *testing.T) {
+	e, sys := newSys(topo.AMD2x2())
+	ch := New(sys, 0, 2, Options{Home: -1})
+	e.Spawn("recv", func(p *sim.Proc) { ch.RecvWindow(p, 100_000) })
+	e.Spawn("send", func(p *sim.Proc) {
+		p.Sleep(300)
+		ch.Send(p, Message{1})
+	})
+	e.Run()
+	if ch.Stats().Notifies != 0 {
+		t.Fatal("message within polling window should not need notification")
+	}
+}
+
+func TestPrefetchImprovesThroughput(t *testing.T) {
+	measure := func(prefetch bool) sim.Time {
+		e, sys := newSys(topo.AMD8x4())
+		ch := New(sys, 0, 4, Options{Home: -1, Slots: 16, Prefetch: prefetch})
+		const n = 300
+		var end sim.Time
+		e.Spawn("recv", func(p *sim.Proc) {
+			for i := 0; i < n; i++ {
+				ch.Recv(p)
+			}
+			end = p.Now()
+		})
+		e.Spawn("send", func(p *sim.Proc) {
+			for i := 0; i < n; i++ {
+				ch.Send(p, Message{uint64(i)})
+			}
+		})
+		e.Run()
+		return end
+	}
+	plain, pf := measure(false), measure(true)
+	if pf > plain {
+		t.Fatalf("prefetch made throughput worse: %d vs %d", pf, plain)
+	}
+}
+
+func TestNUMAHomePlacement(t *testing.T) {
+	_, sys := newSys(topo.AMD4x4())
+	ch := New(sys, 0, 12, Options{Home: -1}) // receiver core 12 is socket 3
+	if got := sys.Memory().Home(ch.ring.Base); got != 3 {
+		t.Fatalf("ring homed on socket %d, want 3 (receiver's)", got)
+	}
+	ch2 := New(sys, 0, 12, Options{Home: 1})
+	if got := sys.Memory().Home(ch2.ring.Base); got != 1 {
+		t.Fatalf("explicit home ignored: %d", got)
+	}
+}
+
+func TestTinyRingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_, sys := newSys(topo.AMD2x2())
+	New(sys, 0, 1, Options{Slots: 1})
+}
+
+// Property: any payload survives the channel bit-exactly, in order, for any
+// ring size >= 2.
+func TestPayloadIntegrityProperty(t *testing.T) {
+	f := func(payloads [][7]uint64, slots uint8) bool {
+		if len(payloads) == 0 || len(payloads) > 60 {
+			return true
+		}
+		e, sys := newSys(topo.AMD2x2())
+		ch := New(sys, 1, 3, Options{Home: -1, Slots: int(slots%14) + 2})
+		ok := true
+		e.Spawn("recv", func(p *sim.Proc) {
+			for _, want := range payloads {
+				if got := ch.Recv(p); got != Message(want) {
+					ok = false
+				}
+			}
+		})
+		e.Spawn("send", func(p *sim.Proc) {
+			for _, m := range payloads {
+				ch.Send(p, Message(m))
+			}
+		})
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanSendAndPending(t *testing.T) {
+	e, sys := newSys(topo.AMD2x2())
+	ch := New(sys, 0, 2, Options{Home: -1, Slots: 2})
+	if !ch.CanSend() {
+		t.Fatal("fresh channel cannot send")
+	}
+	if ch.Pending() {
+		t.Fatal("fresh channel has pending message")
+	}
+	e.Spawn("send", func(p *sim.Proc) {
+		ch.Send(p, Message{1})
+		ch.Send(p, Message{2})
+	})
+	e.Run()
+	if ch.CanSend() {
+		t.Fatal("full 2-slot ring still claims send space")
+	}
+	if !ch.Pending() {
+		t.Fatal("messages sent but none pending")
+	}
+	e.Spawn("recv", func(p *sim.Proc) {
+		ch.Recv(p)
+		ch.Recv(p)
+	})
+	e.Run()
+	if ch.Pending() {
+		t.Fatal("drained channel still pending")
+	}
+	if got := ch.Slots(); got != 2 {
+		t.Fatalf("slots=%d", got)
+	}
+	if s := ch.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
