@@ -6,17 +6,35 @@
 // Run all of them with:
 //
 //	go test -bench=. -benchmem
+//
+// Experiment sweeps fan their points across the internal/harness worker pool
+// (default GOMAXPROCS workers; override with -harness.parallel N). Reported
+// simulated-cycle metrics are independent of the pool size: each point is a
+// hermetic, seed-deterministic engine run.
 package multikernel_test
 
 import (
+	"flag"
+	"os"
+	"runtime"
 	"testing"
 
 	"multikernel/internal/apps"
 	"multikernel/internal/baseline"
 	"multikernel/internal/expt"
+	"multikernel/internal/harness"
 	"multikernel/internal/monitor"
 	"multikernel/internal/topo"
 )
+
+var benchParallel = flag.Int("harness.parallel", runtime.GOMAXPROCS(0),
+	"experiment points to run concurrently (1 = serial)")
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	harness.SetParallelism(*benchParallel)
+	os.Exit(m.Run())
+}
 
 // BenchmarkFig3 regenerates Figure 3's headline points: 8-line updates via
 // shared memory versus messages at 16 cores.

@@ -4,19 +4,33 @@
 //
 // Usage:
 //
-//	mkbench [-quick] [experiment ...]
+//	mkbench [-quick] [-parallel N] [-json file] [experiment ...]
 //
 // Experiments: fig3 tab1 tab2 tab3 fig6 fig7 fig8 tab4 fig9 sec54 poll
-// ablations, or "all" (the default).
+// ablations extensions, or "all" (the default).
+//
+// Independent experiment points run across a pool of -parallel worker
+// threads (default GOMAXPROCS); output is byte-identical to -parallel 1
+// because every point is a hermetic, seed-deterministic engine run and
+// results are collected in deterministic order.
+//
+// With -json, headline metrics (the last point of every figure series, per-
+// experiment and total wall-clock seconds, and the parallelism used) are
+// written to the named file as one flat JSON object, so successive runs can
+// be diffed to track the performance trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"multikernel/internal/expt"
+	"multikernel/internal/harness"
 	"multikernel/internal/sim"
 	"multikernel/internal/stats"
 )
@@ -24,7 +38,12 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run shortened parameter sweeps")
 	plot := flag.Bool("plot", true, "render ASCII plots for figures")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"number of experiment points to run concurrently (1 = serial)")
+	jsonOut := flag.String("json", "", "write headline metrics to this file as a flat JSON object")
 	flag.Parse()
+
+	harness.SetParallelism(*parallel)
 
 	iters := 10
 	webWindow := sim.Time(40_000_000)
@@ -37,9 +56,85 @@ func main() {
 		fig9Scale = 0.25
 	}
 
+	pw, ph := 0, 0
+	if *plot {
+		pw, ph = 72, 18
+	}
+
+	metrics := map[string]float64{}
+	// figMetrics records the last point of every series of f under keys
+	// "<expt>.<series>@<x>" — the headline scaling numbers.
+	figMetrics := func(name string, f *stats.Figure) {
+		for _, s := range f.Series {
+			if len(s.Points) == 0 {
+				continue
+			}
+			last := s.Points[len(s.Points)-1]
+			metrics[fmt.Sprintf("%s.%s@%g", name, s.Name, last.X)] = last.Y
+		}
+	}
+	showFig := func(name string, f *stats.Figure) {
+		figMetrics(name, f)
+		fmt.Println(stats.RenderFigure(f, pw, ph))
+	}
+	showTab := func(t *stats.Table) {
+		fmt.Println(t.Render())
+	}
+
+	experiments := []struct {
+		name string
+		run  func()
+	}{
+		{"fig3", func() { showFig("fig3", expt.Fig3(iters)) }},
+		{"tab1", func() { showTab(expt.Table1(24)) }},
+		{"tab2", func() { showTab(expt.Table2(iters)) }},
+		{"tab3", func() { showTab(expt.Table3(iters)) }},
+		{"fig6", func() { showFig("fig6", expt.Fig6(iters)) }},
+		{"fig7", func() { showFig("fig7", expt.Fig7(max(2, iters/2))) }},
+		{"fig8", func() { showFig("fig8", expt.Fig8(max(2, iters/2))) }},
+		{"tab4", func() { showTab(expt.Table4()) }},
+		{"fig9", func() {
+			for _, f := range expt.Fig9(fig9Scale) {
+				showFig("fig9", f)
+			}
+		}},
+		{"sec54", func() { showTab(expt.Sec54(packets, webWindow)) }},
+		{"poll", func() { showTab(expt.PollModel(6000)) }},
+		{"ablations", func() {
+			showTab(expt.AblationPrefetch(iters))
+			showTab(expt.AblationShootdownProtocols(max(2, iters/2)))
+			showTab(expt.AblationPipelineDepth(max(2, iters/2)))
+			showTab(expt.AblationPollWindow())
+		}},
+		{"extensions", func() {
+			showFig("ext-scale", expt.ExtScaling(max(2, iters/2)))
+			showTab(expt.ExtSharedReplica(max(2, iters/2)))
+			showTab(expt.ExtRunQueue(40))
+		}},
+	}
+
 	wants := flag.Args()
 	if len(wants) == 0 {
 		wants = []string{"all"}
+	}
+	known := func(name string) bool {
+		for _, ex := range experiments {
+			if ex.name == name {
+				return true
+			}
+		}
+		return name == "all"
+	}
+	for _, w := range wants {
+		if !known(w) {
+			var names []string
+			for _, ex := range experiments {
+				names = append(names, ex.name)
+			}
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from: %s all\n",
+				w, strings.Join(names, " "))
+			os.Exit(2)
+		}
 	}
 	want := func(name string) bool {
 		for _, w := range wants {
@@ -50,80 +145,30 @@ func main() {
 		return false
 	}
 
-	pw, ph := 0, 0
-	if *plot {
-		pw, ph = 72, 18
-	}
-	showFig := func(f *stats.Figure) {
-		fmt.Println(stats.RenderFigure(f, pw, ph))
-	}
-	showTab := func(t *stats.Table) {
-		fmt.Println(t.Render())
+	start := time.Now()
+	for _, ex := range experiments {
+		if !want(ex.name) {
+			continue
+		}
+		t0 := time.Now()
+		ex.run()
+		metrics["wall_seconds."+ex.name] = round3(time.Since(t0).Seconds())
 	}
 
-	ran := 0
-	if want("fig3") {
-		showFig(expt.Fig3(iters))
-		ran++
-	}
-	if want("tab1") {
-		showTab(expt.Table1(24))
-		ran++
-	}
-	if want("tab2") {
-		showTab(expt.Table2(iters))
-		ran++
-	}
-	if want("tab3") {
-		showTab(expt.Table3(iters))
-		ran++
-	}
-	if want("fig6") {
-		showFig(expt.Fig6(iters))
-		ran++
-	}
-	if want("fig7") {
-		showFig(expt.Fig7(max(2, iters/2)))
-		ran++
-	}
-	if want("fig8") {
-		showFig(expt.Fig8(max(2, iters/2)))
-		ran++
-	}
-	if want("tab4") {
-		showTab(expt.Table4())
-		ran++
-	}
-	if want("fig9") {
-		for _, f := range expt.Fig9(fig9Scale) {
-			showFig(f)
+	if *jsonOut != "" {
+		metrics["wall_seconds_total"] = round3(time.Since(start).Seconds())
+		metrics["parallel"] = float64(harness.Parallelism())
+		buf, err := json.MarshalIndent(metrics, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mkbench: encoding metrics: %v\n", err)
+			os.Exit(1)
 		}
-		ran++
-	}
-	if want("sec54") {
-		showTab(expt.Sec54(packets, webWindow))
-		ran++
-	}
-	if want("poll") {
-		showTab(expt.PollModel(6000))
-		ran++
-	}
-	if want("ablations") {
-		showTab(expt.AblationPrefetch(iters))
-		showTab(expt.AblationShootdownProtocols(max(2, iters/2)))
-		showTab(expt.AblationPipelineDepth(max(2, iters/2)))
-		showTab(expt.AblationPollWindow())
-		ran++
-	}
-	if want("extensions") {
-		showFig(expt.ExtScaling(max(2, iters/2)))
-		showTab(expt.ExtSharedReplica(max(2, iters/2)))
-		showTab(expt.ExtRunQueue(40))
-		ran++
-	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from: fig3 tab1 tab2 tab3 fig6 fig7 fig8 tab4 fig9 sec54 poll ablations extensions all\n",
-			strings.Join(wants, " "))
-		os.Exit(2)
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mkbench: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
 	}
 }
+
+func round3(s float64) float64 { return float64(int64(s*1000+0.5)) / 1000 }

@@ -1,0 +1,30 @@
+package expt
+
+import (
+	"testing"
+
+	"multikernel/internal/harness"
+	"multikernel/internal/stats"
+)
+
+// TestParallelSweepDeterminism is the harness determinism contract: running
+// a sweep serially and through the parallel worker pool must produce
+// byte-identical rendered output, because every experiment point is a
+// hermetic, seed-deterministic engine run and results are collected in
+// index order.
+func TestParallelSweepDeterminism(t *testing.T) {
+	render := func(par int) string {
+		old := harness.Parallelism()
+		harness.SetParallelism(par)
+		defer harness.SetParallelism(old)
+		out := stats.RenderFigure(Fig6(2), 72, 18)
+		out += stats.RenderFigure(Fig7(1), 72, 18)
+		return out
+	}
+	serial := render(1)
+	for _, par := range []int{2, 8} {
+		if got := render(par); got != serial {
+			t.Fatalf("parallelism %d produced different rendered output than serial run", par)
+		}
+	}
+}

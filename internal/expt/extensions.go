@@ -6,6 +6,7 @@ import (
 	"multikernel/internal/baseline"
 	"multikernel/internal/caps"
 	"multikernel/internal/core"
+	"multikernel/internal/harness"
 	"multikernel/internal/monitor"
 	"multikernel/internal/sim"
 	"multikernel/internal/topo"
@@ -32,11 +33,22 @@ func ExtScaling(iters int) *figure {
 		topo.Mesh(4, 3, 4), // 48
 		topo.Mesh(4, 4, 4), // 64
 	}
-	for _, m := range meshes {
-		n := m.NumCores()
-		shoot.Add(float64(n), monitor.RawShootdownLatency(m, monitor.NUMAAware, n, iters))
-		unmap.Add(float64(n), unmapLatencyProto(m, n, iters, monitor.NUMAAware))
-		lx.Add(float64(n), unmapLatencyBaseline(m, baseline.Linux, n, iters))
+	runs := []func(m *topo.Machine, n int) float64{
+		func(m *topo.Machine, n int) float64 {
+			return monitor.RawShootdownLatency(m, monitor.NUMAAware, n, iters)
+		},
+		func(m *topo.Machine, n int) float64 { return unmapLatencyProto(m, n, iters, monitor.NUMAAware) },
+		func(m *topo.Machine, n int) float64 { return unmapLatencyBaseline(m, baseline.Linux, n, iters) },
+	}
+	pts := harness.Map2(len(runs), len(meshes), func(ri, mi int) float64 {
+		m := meshes[mi]
+		return runs[ri](m, m.NumCores())
+	})
+	for mi, m := range meshes {
+		n := float64(m.NumCores())
+		shoot.Add(n, pts[0][mi])
+		unmap.Add(n, pts[1][mi])
+		lx.Add(n, pts[2][mi])
 	}
 	return f
 }

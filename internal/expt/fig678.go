@@ -4,6 +4,7 @@ import (
 	"multikernel/internal/baseline"
 	"multikernel/internal/caps"
 	"multikernel/internal/core"
+	"multikernel/internal/harness"
 	"multikernel/internal/memory"
 	"multikernel/internal/monitor"
 	"multikernel/internal/sim"
@@ -12,7 +13,9 @@ import (
 )
 
 // Fig6 regenerates Figure 6: raw messaging costs of the four TLB-shootdown
-// protocols on the 8×4-core AMD system, 2..32 cores.
+// protocols on the 8×4-core AMD system, 2..32 cores. Each (protocol, cores)
+// point is a hermetic engine run, so the sweep fans out across the harness
+// worker pool.
 func Fig6(iters int) *figure {
 	m := topo.AMD8x4()
 	f := newFigure("Figure 6: TLB shootdown protocols, raw messaging ("+m.Name+")",
@@ -26,10 +29,14 @@ func Fig6(iters int) *figure {
 		{"Multicast", monitor.Multicast},
 		{"NUMA-Aware Multicast", monitor.NUMAAware},
 	}
-	for _, pr := range protos {
+	ns := sweepCores(2, 32)
+	pts := harness.Map2(len(protos), len(ns), func(pi, ni int) float64 {
+		return monitor.RawShootdownLatency(m, protos[pi].proto, ns[ni], iters)
+	})
+	for pi, pr := range protos {
 		s := f.AddSeries(pr.name)
-		for _, n := range sweepCores(2, 32) {
-			s.Add(float64(n), monitor.RawShootdownLatency(m, pr.proto, n, iters))
+		for ni, n := range ns {
+			s.Add(float64(n), pts[pi][ni])
 		}
 	}
 	return f
@@ -99,32 +106,48 @@ func unmapLatencyBaseline(m *topo.Machine, flavor baseline.Flavor, n, iters int)
 }
 
 // Fig7 regenerates Figure 7: end-to-end unmap latency, Barrelfish versus
-// Linux and Windows, on the 8×4-core AMD system.
+// Linux and Windows, on the 8×4-core AMD system. Each (system, cores) point
+// runs on its own engine, parallelized across the harness pool.
 func Fig7(iters int) *figure {
 	m := topo.AMD8x4()
 	f := newFigure("Figure 7: unmap latency ("+m.Name+")", "cores", "latency (cycles)")
-	lx := f.AddSeries("Linux")
-	wn := f.AddSeries("Windows")
-	bf := f.AddSeries("Barrelfish")
-	for _, n := range sweepCores(2, 32) {
-		lx.Add(float64(n), unmapLatencyBaseline(m, baseline.Linux, n, iters))
-		wn.Add(float64(n), unmapLatencyBaseline(m, baseline.Windows, n, iters))
-		bf.Add(float64(n), UnmapLatencyBF(m, n, iters))
+	systems := []struct {
+		name string
+		run  func(n int) float64
+	}{
+		{"Linux", func(n int) float64 { return unmapLatencyBaseline(m, baseline.Linux, n, iters) }},
+		{"Windows", func(n int) float64 { return unmapLatencyBaseline(m, baseline.Windows, n, iters) }},
+		{"Barrelfish", func(n int) float64 { return UnmapLatencyBF(m, n, iters) }},
+	}
+	ns := sweepCores(2, 32)
+	pts := harness.Map2(len(systems), len(ns), func(si, ni int) float64 {
+		return systems[si].run(ns[ni])
+	})
+	for si, sys := range systems {
+		s := f.AddSeries(sys.name)
+		for ni, n := range ns {
+			s.Add(float64(n), pts[si][ni])
+		}
 	}
 	return f
 }
 
 // Fig8 regenerates Figure 8: two-phase commit on the 8×4-core AMD system —
 // single-operation latency and per-operation cost when pipelining 16
-// operations.
+// operations. Both series fan out across the harness pool.
 func Fig8(iters int) *figure {
 	m := topo.AMD8x4()
 	f := newFigure("Figure 8: two-phase commit ("+m.Name+")", "cores", "cycles per operation")
+	depths := []int{1, 16}
+	ns := sweepCores(2, 32)
+	pts := harness.Map2(len(depths), len(ns), func(di, ni int) float64 {
+		return twoPCLatency(m, ns[ni], iters, depths[di])
+	})
 	single := f.AddSeries("Single-operation latency")
 	piped := f.AddSeries("Cost when pipelining")
-	for _, n := range sweepCores(2, 32) {
-		single.Add(float64(n), twoPCLatency(m, n, iters, 1))
-		piped.Add(float64(n), twoPCLatency(m, n, iters, 16))
+	for ni, n := range ns {
+		single.Add(float64(n), pts[0][ni])
+		piped.Add(float64(n), pts[1][ni])
 	}
 	return f
 }

@@ -3,6 +3,7 @@ package expt
 import (
 	"multikernel/internal/apps"
 	"multikernel/internal/baseline"
+	"multikernel/internal/harness"
 	"multikernel/internal/threads"
 	"multikernel/internal/topo"
 )
@@ -42,20 +43,30 @@ func (a kernelBarrier) Wait(th *threads.Thread) { a.b.Wait(th.Proc(), th.Core())
 
 // Fig9 regenerates Figure 9: the five compute-bound workloads (NAS CG, FT,
 // IS; SPLASH-2 Barnes-Hut and radiosity) on the 4×4-core AMD system,
-// Barrelfish versus Linux, 1..16 cores. One figure per workload.
+// Barrelfish versus Linux, 1..16 cores. One figure per workload. All
+// (workload, cores) points share one harness worker pool so the expensive
+// workloads do not serialize behind each other.
 func Fig9(scale float64) []*figure {
-	var out []*figure
-	for _, wl := range apps.NASWorkloads() {
+	wls := apps.NASWorkloads()
+	for i := range wls {
 		if scale > 0 && scale < 1 {
-			wl.Iters = int(float64(wl.Iters)*scale) + 1
+			wls[i].Iters = int(float64(wls[i].Iters)*scale) + 1
 		}
+	}
+	ns := fig9CoreCounts()
+	type point struct{ bf, lx float64 }
+	pts := harness.Map2(len(wls), len(ns), func(wi, ni int) point {
+		bf, lx := RunFig9Workload(wls[wi], ns[ni])
+		return point{bf, lx}
+	})
+	var out []*figure
+	for wi, wl := range wls {
 		f := newFigure("Figure 9: "+wl.Name+" (4x4-core AMD)", "cores", "cycles")
 		bfs := f.AddSeries("Barrelfish")
 		lxs := f.AddSeries("Linux")
-		for _, n := range fig9CoreCounts() {
-			bf, lx := RunFig9Workload(wl, n)
-			bfs.Add(float64(n), bf)
-			lxs.Add(float64(n), lx)
+		for ni, n := range ns {
+			bfs.Add(float64(n), pts[wi][ni].bf)
+			lxs.Add(float64(n), pts[wi][ni].lx)
 		}
 		out = append(out, f)
 	}

@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"multikernel/internal/sim"
+)
+
+func withParallelism(t *testing.T, n int) {
+	t.Helper()
+	old := Parallelism()
+	SetParallelism(n)
+	t.Cleanup(func() { SetParallelism(old) })
+}
+
+func TestMapCollectsInIndexOrder(t *testing.T) {
+	for _, par := range []int{1, 2, 8, 64} {
+		withParallelism(t, par)
+		got := Map(100, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("parallelism %d: out[%d] = %d, want %d", par, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapSerialAndParallelIdentical(t *testing.T) {
+	// Each point runs its own seed-deterministic engine; the collected
+	// results must not depend on the worker-pool width.
+	point := func(i int) []sim.Time {
+		e := sim.NewEngine(uint64(i) + 1)
+		var log []sim.Time
+		for p := 0; p < 4; p++ {
+			e.Spawn("p", func(p *sim.Proc) {
+				for j := 0; j < 50; j++ {
+					p.Sleep(e.RNG().Time(100) + 1)
+					log = append(log, p.Now())
+				}
+			})
+		}
+		e.Run()
+		return log
+	}
+	withParallelism(t, 1)
+	serial := Map(16, point)
+	withParallelism(t, 8)
+	parallel := Map(16, point)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("parallel run diverged from serial run")
+	}
+}
+
+func TestMapRunsAllPointsConcurrencyBounded(t *testing.T) {
+	withParallelism(t, 3)
+	var live, peak, calls atomic.Int64
+	Map(64, func(i int) struct{} {
+		n := live.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		calls.Add(1)
+		live.Add(-1)
+		return struct{}{}
+	})
+	if calls.Load() != 64 {
+		t.Fatalf("ran %d points, want 64", calls.Load())
+	}
+	if peak.Load() > 3 {
+		t.Fatalf("observed %d concurrent points, want <= 3", peak.Load())
+	}
+}
+
+func TestMapPropagatesPanic(t *testing.T) {
+	withParallelism(t, 4)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("panic %v does not carry the cause", r)
+		}
+	}()
+	Map(16, func(i int) int {
+		if i == 7 {
+			panic("boom")
+		}
+		return i
+	})
+}
+
+func TestMapZeroAndOnePoints(t *testing.T) {
+	withParallelism(t, 8)
+	if got := Map(0, func(i int) int { return i }); got != nil {
+		t.Fatal("Map(0) should be nil")
+	}
+	if got := Map(1, func(i int) int { return 41 + i }); len(got) != 1 || got[0] != 41 {
+		t.Fatalf("Map(1) = %v", got)
+	}
+}
+
+func TestMap2Shape(t *testing.T) {
+	withParallelism(t, 4)
+	got := Map2(3, 5, func(r, c int) int { return r*10 + c })
+	if len(got) != 3 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	for r := range got {
+		for c := range got[r] {
+			if got[r][c] != r*10+c {
+				t.Fatalf("got[%d][%d] = %d", r, c, got[r][c])
+			}
+		}
+	}
+}
+
+func TestSetParallelismClamps(t *testing.T) {
+	withParallelism(t, 4)
+	SetParallelism(-3)
+	if Parallelism() != 1 {
+		t.Fatalf("parallelism = %d, want 1", Parallelism())
+	}
+}

@@ -4,10 +4,20 @@
 // the machine's cost parameters — but data values and home-node placement
 // are, so that messages really carry payloads and NUMA-aware allocation is a
 // real placement decision.
+//
+// Both index structures are built for the simulator's access pattern rather
+// than generality. Home-node placement is kept as a run-length list over the
+// bump allocator's monotonically increasing address space, so allocating a
+// region is O(1) regardless of its size (per-line bookkeeping made machine
+// boot the single hottest operation in whole-experiment profiles). Word
+// contents live in 4KiB pages indexed by a map keyed on page number, with a
+// one-entry cache for the repeated same-page accesses of polling loops and
+// payload copies.
 package memory
 
 import (
 	"fmt"
+	"sort"
 
 	"multikernel/internal/topo"
 )
@@ -47,22 +57,43 @@ func (r Region) Lines() int { return int(r.Bytes / LineSize) }
 // LineAt returns the base address of the i'th line of the region.
 func (r Region) LineAt(i int) Addr { return r.Base + Addr(i*LineSize) }
 
+// pageShift selects 4KiB pages (512 words) for the backing store.
+const (
+	pageShift = 12
+	pageWords = (1 << pageShift) / 8
+)
+
+type page [pageWords]uint64
+
+// homeRun records that lines starting at start (up to the next run) are
+// homed on home. Runs are appended in ascending start order by the bump
+// allocator.
+type homeRun struct {
+	start LineID
+	home  topo.SocketID
+}
+
 // Memory is the physical memory of one simulated machine.
 type Memory struct {
 	m     *topo.Machine
 	next  Addr
-	homes map[LineID]topo.SocketID
-	words map[Addr]uint64
+	homes []homeRun // run-length home index, ascending by start
+	pages map[Addr]*page
+
+	// One-entry page cache: polling loops and payload copies hit the same
+	// page repeatedly.
+	cacheKey  Addr
+	cachePage *page
 }
 
 // New returns an empty memory for machine m. Address 0 is never allocated so
 // it can serve as a null value.
 func New(m *topo.Machine) *Memory {
 	return &Memory{
-		m:     m,
-		next:  LineSize, // keep line 0 unused
-		homes: make(map[LineID]topo.SocketID),
-		words: make(map[Addr]uint64),
+		m:        m,
+		next:     LineSize, // keep line 0 unused
+		pages:    make(map[Addr]*page),
+		cacheKey: ^Addr(0),
 	}
 }
 
@@ -77,8 +108,8 @@ func (mem *Memory) Alloc(bytes int, home topo.SocketID) Region {
 	}
 	lines := (bytes + LineSize - 1) / LineSize
 	r := Region{Base: mem.next, Bytes: uint64(lines * LineSize), Home: home}
-	for i := 0; i < lines; i++ {
-		mem.homes[r.LineAt(i).Line()] = home
+	if n := len(mem.homes); n == 0 || mem.homes[n-1].home != home {
+		mem.homes = append(mem.homes, homeRun{start: r.Base.Line(), home: home})
 	}
 	mem.next += Addr(lines * LineSize)
 	return r
@@ -92,7 +123,35 @@ func (mem *Memory) AllocLines(n int, home topo.SocketID) Region {
 // Home returns the NUMA home socket of the line containing a. Unallocated
 // addresses are homed on socket 0.
 func (mem *Memory) Home(a Addr) topo.SocketID {
-	return mem.homes[a.Line()]
+	if a >= mem.next || len(mem.homes) == 0 {
+		return 0
+	}
+	l := a.Line()
+	if l < mem.homes[0].start {
+		return 0
+	}
+	// Find the last run starting at or before l.
+	i := sort.Search(len(mem.homes), func(i int) bool { return mem.homes[i].start > l })
+	return mem.homes[i-1].home
+}
+
+// pageFor returns the page containing a, creating it if create is set.
+// It returns nil for an absent page when create is false.
+func (mem *Memory) pageFor(a Addr, create bool) *page {
+	key := a >> pageShift
+	if key == mem.cacheKey {
+		return mem.cachePage
+	}
+	pg := mem.pages[key]
+	if pg == nil {
+		if !create {
+			return nil
+		}
+		pg = new(page)
+		mem.pages[key] = pg
+	}
+	mem.cacheKey, mem.cachePage = key, pg
+	return pg
 }
 
 // LoadWord returns the 64-bit word at a, which must be 8-byte aligned.
@@ -100,7 +159,11 @@ func (mem *Memory) LoadWord(a Addr) uint64 {
 	if a%8 != 0 {
 		panic(fmt.Sprintf("memory: misaligned load at %#x", uint64(a)))
 	}
-	return mem.words[a]
+	pg := mem.pageFor(a, false)
+	if pg == nil {
+		return 0
+	}
+	return pg[(a%(1<<pageShift))/8]
 }
 
 // StoreWord writes the 64-bit word at a, which must be 8-byte aligned.
@@ -108,29 +171,30 @@ func (mem *Memory) StoreWord(a Addr, v uint64) {
 	if a%8 != 0 {
 		panic(fmt.Sprintf("memory: misaligned store at %#x", uint64(a)))
 	}
-	if v == 0 {
-		delete(mem.words, a)
-		return
+	pg := mem.pageFor(a, v != 0)
+	if pg == nil {
+		return // storing zero into an untouched page is a no-op
 	}
-	mem.words[a] = v
+	pg[(a%(1<<pageShift))/8] = v
 }
 
 // LoadLine returns the 8 words of the line containing a.
 func (mem *Memory) LoadLine(a Addr) [WordsPerLine]uint64 {
 	base := a.Line().Base()
 	var out [WordsPerLine]uint64
-	for i := range out {
-		out[i] = mem.words[base+Addr(i*8)]
+	pg := mem.pageFor(base, false)
+	if pg == nil {
+		return out
 	}
+	copy(out[:], pg[(base%(1<<pageShift))/8:])
 	return out
 }
 
 // StoreLine writes the 8 words of the line containing a.
 func (mem *Memory) StoreLine(a Addr, vals [WordsPerLine]uint64) {
 	base := a.Line().Base()
-	for i, v := range vals {
-		mem.StoreWord(base+Addr(i*8), v)
-	}
+	pg := mem.pageFor(base, true)
+	copy(pg[(base%(1<<pageShift))/8:], vals[:])
 }
 
 // LoadBytes copies n bytes starting at a into a fresh slice. Byte access is
@@ -139,7 +203,10 @@ func (mem *Memory) LoadBytes(a Addr, n int) []byte {
 	out := make([]byte, n)
 	for i := 0; i < n; i++ {
 		addr := a + Addr(i)
-		w := mem.words[addr&^7]
+		var w uint64
+		if pg := mem.pageFor(addr, false); pg != nil {
+			w = pg[(addr%(1<<pageShift))/8]
+		}
 		out[i] = byte(w >> (8 * (addr & 7)))
 	}
 	return out
@@ -149,11 +216,10 @@ func (mem *Memory) LoadBytes(a Addr, n int) []byte {
 func (mem *Memory) StoreBytes(a Addr, b []byte) {
 	for i, c := range b {
 		addr := a + Addr(i)
-		wa := addr &^ 7
+		pg := mem.pageFor(addr, true)
+		w := &pg[(addr%(1<<pageShift))/8]
 		shift := 8 * (addr & 7)
-		w := mem.words[wa]
-		w = (w &^ (uint64(0xff) << shift)) | uint64(c)<<shift
-		mem.StoreWord(wa, w)
+		*w = (*w &^ (uint64(0xff) << shift)) | uint64(c)<<shift
 	}
 }
 

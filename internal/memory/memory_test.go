@@ -133,6 +133,67 @@ func TestLineIDMath(t *testing.T) {
 	}
 }
 
+func TestHomeRunIndex(t *testing.T) {
+	mem := New(topo.AMD4x4())
+	// Consecutive same-home allocations merge into one run; home changes
+	// start new runs.
+	r0 := mem.Alloc(4096, 0)
+	r1 := mem.Alloc(4096, 0)
+	r2 := mem.Alloc(4096, 3)
+	r3 := mem.Alloc(64, 1)
+	for _, tc := range []struct {
+		a    Addr
+		want topo.SocketID
+	}{
+		{r0.Base, 0}, {r0.End() - 1, 0},
+		{r1.Base, 0}, {r1.End() - 1, 0},
+		{r2.Base, 3}, {r2.Base + 2048, 3}, {r2.End() - 1, 3},
+		{r3.Base, 1},
+	} {
+		if got := mem.Home(tc.a); got != tc.want {
+			t.Errorf("Home(%#x) = %d, want %d", uint64(tc.a), got, tc.want)
+		}
+	}
+	// Line 0 is never allocated; addresses past the bump pointer are
+	// unallocated. Both are homed on socket 0 by convention.
+	if mem.Home(0) != 0 {
+		t.Error("null line not homed on 0")
+	}
+	if mem.Home(1<<30) != 0 {
+		t.Error("unallocated high address not homed on 0")
+	}
+}
+
+func TestStoreToUnallocatedAddress(t *testing.T) {
+	// Models (e.g. benchmark scratch regions) store to addresses never
+	// handed out by Alloc; the paged store must handle them.
+	mem := New(topo.AMD2x2())
+	a := Addr(1 << 30)
+	mem.StoreWord(a, 99)
+	if mem.LoadWord(a) != 99 {
+		t.Fatal("high-address store lost")
+	}
+	// Storing zero into an untouched page must not materialize the page.
+	pages := len(mem.pages)
+	mem.StoreWord(1<<40, 0)
+	if len(mem.pages) != pages {
+		t.Fatal("zero store materialized a page")
+	}
+	if mem.LoadWord(1<<40) != 0 {
+		t.Fatal("untouched word not zero")
+	}
+}
+
+func TestBytesAcrossPageBoundary(t *testing.T) {
+	mem := New(topo.AMD2x2())
+	a := Addr(1<<pageShift) - 7 // straddles the first page boundary
+	msg := []byte("boundary-crossing payload")
+	mem.StoreBytes(a, msg)
+	if got := mem.LoadBytes(a, len(msg)); !bytes.Equal(got, msg) {
+		t.Fatalf("got %q, want %q", got, msg)
+	}
+}
+
 func TestRegionHelpers(t *testing.T) {
 	mem := New(topo.AMD2x2())
 	r := mem.AllocLines(3, 1)

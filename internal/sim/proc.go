@@ -41,9 +41,13 @@ func (p *Proc) Name() string { return p.name }
 // reports. Safe to call from any context before or during the run.
 func (p *Proc) SetDaemon(on bool) { p.daemon = on }
 
-// yieldToEngine hands control back to the engine and blocks until resumed.
+// yieldToEngine hands the control baton on — dispatching the next event and
+// resuming the next proc directly from this goroutine — and blocks until
+// resumed. This is the single-handoff path: one channel send transfers
+// control to the next runnable proc, with no central scheduler goroutine in
+// between.
 func (p *Proc) yieldToEngine() {
-	p.e.yield <- struct{}{}
+	p.e.exitDispatch()
 	<-p.resume
 	if p.killed {
 		panic(errKilled)
