@@ -4,10 +4,16 @@
 //
 // Usage:
 //
-//	mkbench [-quick] [-parallel N] [-json file] [experiment ...]
+//	mkbench [-quick] [-parallel N] [-json file] [-fault-seed N] [experiment ...]
 //
 // Experiments: fig3 tab1 tab2 tab3 fig6 fig7 fig8 tab4 fig9 sec54 poll
-// ablations extensions, or "all" (the default).
+// ablations extensions faults, or "all" (the default).
+//
+// The faults experiment drives coordinated operations through seeded fault
+// schedules (fail-stop cores, degraded links, cache stalls) with monitor
+// fault tolerance enabled, reporting recovery latency and degraded-mode
+// throughput against the fault rate; -fault-seed selects the schedule
+// family.
 //
 // Independent experiment points run across a pool of -parallel worker
 // threads (default GOMAXPROCS); output is byte-identical to -parallel 1
@@ -41,6 +47,8 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"number of experiment points to run concurrently (1 = serial)")
 	jsonOut := flag.String("json", "", "write headline metrics to this file as a flat JSON object")
+	faultSeed := flag.Uint64("fault-seed", 42, "seed family for the faults experiment's schedules")
+	faultsOnly := flag.Bool("faults", false, "shorthand for the faults experiment")
 	flag.Parse()
 
 	harness.SetParallelism(*parallel)
@@ -111,9 +119,17 @@ func main() {
 			showTab(expt.ExtSharedReplica(max(2, iters/2)))
 			showTab(expt.ExtRunQueue(40))
 		}},
+		{"faults", func() {
+			lat, thr := expt.FaultRecovery(*faultSeed, 2*iters)
+			showFig("faults-latency", lat)
+			showFig("faults-throughput", thr)
+		}},
 	}
 
 	wants := flag.Args()
+	if *faultsOnly {
+		wants = append(wants, "faults")
+	}
 	if len(wants) == 0 {
 		wants = []string{"all"}
 	}

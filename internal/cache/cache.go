@@ -109,6 +109,13 @@ type System struct {
 	// touch tracking for "cache lines used" measurements (paper Table 3)
 	tracking bool
 	touched  map[memory.LineID]bool
+
+	// Fault injection: stallUntil[c] != 0 means core c's cache controller
+	// stops answering coherence probes until that virtual time — fills served
+	// by c and invalidation probes to c wait out the remainder of the stall.
+	// anyStall keeps the fault-free fast path to one boolean test.
+	stallUntil []sim.Time
+	anyStall   bool
 }
 
 // maxInflightStores is the per-core store-miss MSHR budget.
@@ -140,6 +147,39 @@ func New(e *sim.Engine, m *topo.Machine, mem *memory.Memory, fab *interconnect.F
 		dirFree:  make([]sim.Time, m.NSockets),
 		inflight: make([]int, m.NumCores()),
 	}
+}
+
+// SetCoreStall injects an owner-stall fault: core c's cache controller stops
+// responding to coherence traffic until the given virtual time. Extending an
+// existing stall keeps the later deadline.
+func (s *System) SetCoreStall(c topo.CoreID, until sim.Time) {
+	if s.stallUntil == nil {
+		s.stallUntil = make([]sim.Time, s.mach.NumCores())
+	}
+	if until > s.stallUntil[c] {
+		s.stallUntil[c] = until
+	}
+	s.anyStall = true
+}
+
+// coreStall returns the remaining stall of core c's cache controller.
+func (s *System) coreStall(c topo.CoreID) sim.Time {
+	if !s.anyStall {
+		return 0
+	}
+	if u := s.stallUntil[c]; u > s.eng.Now() {
+		return u - s.eng.Now()
+	}
+	return 0
+}
+
+// linkPenalty returns the fault-induced extra latency of a transfer of base
+// latency between core c and the remote socket src.
+func (s *System) linkPenalty(c topo.CoreID, src topo.SocketID, base sim.Time) sim.Time {
+	if !s.fab.Degraded() {
+		return 0
+	}
+	return s.fab.TransferPenalty(s.mach.Socket(c), src, base, s.eng.RNG())
 }
 
 // dirDelay books one transaction at the home directory of the line
@@ -249,6 +289,7 @@ func (s *System) fill(c topo.CoreID, a memory.Addr, l *line) sim.Time {
 		// home node, so distance to the home adds latency — the effect
 		// NUMA-aware buffer placement exploits (§5.1).
 		lat = s.mach.TransferLat(c, l.owner) + s.homePenalty(c, a)
+		lat += s.coreStall(l.owner) + s.linkPenalty(c, s.mach.Socket(l.owner), lat)
 		if !s.mach.SameSocket(c, l.owner) {
 			s.stats[c].RemoteMisses++
 		}
@@ -257,11 +298,13 @@ func (s *System) fill(c topo.CoreID, a memory.Addr, l *line) sim.Time {
 		// Shared copies exist but no owner: memory is current.
 		home := s.mem.Home(a)
 		lat = s.mach.MemLat(c, home)
+		lat += s.linkPenalty(c, home, lat)
 		s.stats[c].RemoteMisses++
 		s.chargeFill(c, home)
 	} else {
 		home := s.mem.Home(a)
 		lat = s.mach.MemLat(c, home)
+		lat += s.linkPenalty(c, home, lat)
 		s.chargeFill(c, home)
 	}
 	l.holders |= 1 << uint(c)
@@ -298,7 +341,11 @@ func (s *System) invalidateOthers(c topo.CoreID, a memory.Addr, l *line) sim.Tim
 			continue
 		}
 		s.stats[h].Invalidated++
-		if t := s.mach.TransferLat(c, h); t > lat {
+		t := s.mach.TransferLat(c, h)
+		// A stalled or link-degraded holder delays its probe response, and
+		// the upgrade cannot complete until the slowest holder has answered.
+		t += s.coreStall(h) + s.linkPenalty(c, s.mach.Socket(h), t)
+		if t > lat {
 			lat = t
 		}
 		hs, cs := s.mach.Socket(h), s.mach.Socket(c)

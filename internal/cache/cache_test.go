@@ -343,3 +343,83 @@ func TestCoherenceProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestOwnerStallDelaysRemoteFetch injects an owner-stall fault: a fill served
+// by the stalled owner's cache waits out the remainder of the stall window.
+func TestOwnerStallDelaysRemoteFetch(t *testing.T) {
+	r := newRig(topo.AMD2x2())
+	a := r.mem.AllocLines(1, 0).Base
+	writer, reader := topo.CoreID(0), topo.CoreID(2)
+	r.runOn(func(p *sim.Proc) { r.sys.Store(p, writer, a, 7) })
+	base := r.runOn(func(p *sim.Proc) { r.sys.Load(p, reader, a) })
+	// Re-own the line on the writer, stall it, and fetch again.
+	r.runOn(func(p *sim.Proc) { r.sys.Store(p, writer, a, 8) })
+	const stall = 5_000
+	r.sys.SetCoreStall(writer, r.e.Now()+stall)
+	stalled := r.runOn(func(p *sim.Proc) { r.sys.Load(p, reader, a) })
+	if stalled != base+stall {
+		t.Fatalf("stalled fetch took %d, want %d (base %d + stall %d)", stalled, base+stall, base, stall)
+	}
+	// After the window expires, latency returns to the baseline.
+	r.runOn(func(p *sim.Proc) { r.sys.Store(p, writer, a, 9) })
+	after := r.runOn(func(p *sim.Proc) { r.sys.Load(p, reader, a) })
+	if after != base {
+		t.Fatalf("post-stall fetch took %d, want %d", after, base)
+	}
+	r.sys.CheckInvariants()
+}
+
+// TestStalledHolderDelaysInvalidation: an upgrade must wait for the stalled
+// holder's probe response.
+func TestStalledHolderDelaysInvalidation(t *testing.T) {
+	// RMW holds the line synchronously, so the probe to the stalled sharer is
+	// on the caller's critical path (a plain store miss issues asynchronously
+	// and would hide the stall).
+	run := func(stall sim.Time) sim.Time {
+		r := newRig(topo.AMD2x2())
+		a := r.mem.AllocLines(1, 0).Base
+		r.runOn(func(p *sim.Proc) { r.sys.Load(p, 2, a) }) // core 2 holds a copy
+		if stall > 0 {
+			r.sys.SetCoreStall(2, r.e.Now()+stall)
+		}
+		d := r.runOn(func(p *sim.Proc) { r.sys.RMW(p, 0, a, func(v uint64) uint64 { return v + 1 }) })
+		r.sys.CheckInvariants()
+		return d
+	}
+	base := run(0)
+	const stall = 3_000
+	got := run(stall)
+	if got <= base {
+		t.Fatalf("RMW with stalled holder took %d, want > fault-free %d", got, base)
+	}
+}
+
+// TestDegradedLinkSlowsCrossSocketFill: a latency multiplier on the crossed
+// link raises remote-fetch latency; same-socket traffic is unaffected.
+func TestDegradedLinkSlowsCrossSocketFill(t *testing.T) {
+	r := newRig(topo.AMD2x2())
+	a := r.mem.AllocLines(1, 0).Base
+	r.runOn(func(p *sim.Proc) { r.sys.Store(p, 0, a, 7) })
+	base := r.runOn(func(p *sim.Proc) { r.sys.Load(p, 2, a) })
+
+	r2 := newRig(topo.AMD2x2())
+	a2 := r2.mem.AllocLines(1, 0).Base
+	r2.runOn(func(p *sim.Proc) { r2.sys.Store(p, 0, a2, 7) })
+	r2.fab.SetDegrade(0, 1, interconnect.Degrade{DelayFactor: 2})
+	slow := r2.runOn(func(p *sim.Proc) { r2.sys.Load(p, 2, a2) })
+	if slow != 2*base {
+		t.Fatalf("degraded cross-socket fill took %d, want %d (2x base %d)", slow, 2*base, base)
+	}
+	// Same-socket fetch pays nothing for the degraded link.
+	b := r2.mem.AllocLines(1, 0).Base
+	r2.runOn(func(p *sim.Proc) { r2.sys.Store(p, 0, b, 7) })
+	r3 := newRig(topo.AMD2x2())
+	b3 := r3.mem.AllocLines(1, 0).Base
+	r3.runOn(func(p *sim.Proc) { r3.sys.Store(p, 0, b3, 7) })
+	want := r3.runOn(func(p *sim.Proc) { r3.sys.Load(p, 1, b3) })
+	got := r2.runOn(func(p *sim.Proc) { r2.sys.Load(p, 1, b) })
+	if got != want {
+		t.Fatalf("same-socket fill on degraded fabric took %d, want %d", got, want)
+	}
+	r2.sys.CheckInvariants()
+}

@@ -11,7 +11,9 @@ import (
 // a sweep serially and through the parallel worker pool must produce
 // byte-identical rendered output, because every experiment point is a
 // hermetic, seed-deterministic engine run and results are collected in
-// index order.
+// index order. The fault-recovery sweep rides along: fault schedules are
+// pure data derived from each point's seed and injected at exact virtual
+// times, so fault injection must not break the contract either.
 func TestParallelSweepDeterminism(t *testing.T) {
 	render := func(par int) string {
 		old := harness.Parallelism()
@@ -19,6 +21,9 @@ func TestParallelSweepDeterminism(t *testing.T) {
 		defer harness.SetParallelism(old)
 		out := stats.RenderFigure(Fig6(2), 72, 18)
 		out += stats.RenderFigure(Fig7(1), 72, 18)
+		lat, thr := FaultRecovery(42, 4)
+		out += stats.RenderFigure(lat, 72, 18)
+		out += stats.RenderFigure(thr, 72, 18)
 		return out
 	}
 	serial := render(1)

@@ -1,0 +1,32 @@
+package expt
+
+import "testing"
+
+// TestFaultRecoveryShape is the acceptance check for the recovery
+// experiment: with faults injected, recovery latency is finite and positive,
+// every sweep point keeps completing operations, and degraded-mode
+// throughput decreases from the fault-free point.
+func TestFaultRecoveryShape(t *testing.T) {
+	lat, thr := FaultRecovery(42, 6)
+	for _, x := range []float64{1, 2, 4, 8} {
+		rec := yAt(t, lat, "mean kill-to-completion recovery", x)
+		if rec <= 0 || rec > 20*recoveryOpTimeout {
+			t.Errorf("faults=%v: recovery latency %v not finite/positive/bounded", x, rec)
+		}
+	}
+	if rec := yAt(t, lat, "mean kill-to-completion recovery", 0); rec != 0 {
+		t.Errorf("fault-free point reports nonzero recovery latency %v", rec)
+	}
+	for _, x := range []float64{0, 1, 2, 4, 8} {
+		if tp := yAt(t, thr, "completed unmaps per Mcycle", x); tp <= 0 {
+			t.Errorf("faults=%v: throughput %v, want > 0", x, tp)
+		}
+		if worst := yAt(t, lat, "max unmap latency", x); worst <= 0 {
+			t.Errorf("faults=%v: max latency %v, want > 0", x, worst)
+		}
+	}
+	if thrF, thr8 := yAt(t, thr, "completed unmaps per Mcycle", 0),
+		yAt(t, thr, "completed unmaps per Mcycle", 8); thr8 >= thrF {
+		t.Errorf("throughput did not degrade under faults: fault-free %v vs 8 faults %v", thrF, thr8)
+	}
+}

@@ -3,6 +3,12 @@
 // not add latency — transaction latencies are part of the cache model's cost
 // parameters — but it accounts traffic per directed link in 32-bit dwords,
 // the unit the paper's Table 4 reports, and derives link utilization.
+//
+// For fault injection the fabric additionally carries per-directed-link
+// degradation state (a latency multiplier and a loss probability); the cache
+// model consults TransferPenalty on cross-socket transactions so that a
+// degraded or partitioned link slows every coherence transfer routed across
+// it. The fault-free fast path is a single boolean test.
 package interconnect
 
 import (
@@ -10,6 +16,7 @@ import (
 	"sort"
 	"strings"
 
+	"multikernel/internal/sim"
 	"multikernel/internal/topo"
 )
 
@@ -26,11 +33,93 @@ const (
 type Fabric struct {
 	m       *topo.Machine
 	traffic map[[2]topo.SocketID]uint64 // directed link -> dwords
+
+	// Fault-injection state: per-directed-link degradation. Empty in the
+	// fault-free case; the cache model's hot path only pays for it after
+	// testing Degraded().
+	degrade     map[[2]topo.SocketID]Degrade
+	retransmits uint64
 }
 
 // New returns an empty fabric for machine m.
 func New(m *topo.Machine) *Fabric {
 	return &Fabric{m: m, traffic: make(map[[2]topo.SocketID]uint64)}
+}
+
+// Degrade describes a fault-injected impairment of one directed link.
+// DelayFactor >= 1 multiplies the latency contribution of transfers crossing
+// the link; LossProb in [0,1] is the per-crossing probability that a transfer
+// is corrupted and must be retried end-to-end. A partitioned link is modeled
+// as LossProb = 1: every crossing pays the maximum retry budget, so traffic
+// still (eventually) gets through at severe cost — HyperTransport has no
+// out-of-band routing table update in this model, and coherence transactions
+// cannot simply be dropped.
+type Degrade struct {
+	DelayFactor float64
+	LossProb    float64
+}
+
+// maxRetransmits bounds the retry budget of a lossy link crossing, keeping
+// even a fully partitioned link's latency finite and deterministic.
+const maxRetransmits = 8
+
+// SetDegrade impairs the physical link between sockets a and b (both
+// directions). It overwrites any previous degradation of the link.
+func (f *Fabric) SetDegrade(a, b topo.SocketID, d Degrade) {
+	if f.degrade == nil {
+		f.degrade = make(map[[2]topo.SocketID]Degrade)
+	}
+	f.degrade[[2]topo.SocketID{a, b}] = d
+	f.degrade[[2]topo.SocketID{b, a}] = d
+}
+
+// ClearDegrade restores the link between a and b (both directions).
+func (f *Fabric) ClearDegrade(a, b topo.SocketID) {
+	delete(f.degrade, [2]topo.SocketID{a, b})
+	delete(f.degrade, [2]topo.SocketID{b, a})
+}
+
+// Degraded reports whether any link is currently impaired — the fault-free
+// fast-path test.
+func (f *Fabric) Degraded() bool { return len(f.degrade) > 0 }
+
+// LinkDegrade returns the impairment of directed link a->b, if any.
+func (f *Fabric) LinkDegrade(a, b topo.SocketID) (Degrade, bool) {
+	d, ok := f.degrade[[2]topo.SocketID{a, b}]
+	return d, ok
+}
+
+// Retransmits returns the number of fault-induced end-to-end retries charged
+// so far.
+func (f *Fabric) Retransmits() uint64 { return f.retransmits }
+
+// TransferPenalty returns the extra latency a transaction of base latency
+// pays for crossing degraded links on the shortest path from socket a to b.
+// Loss draws come from the engine RNG, so the penalty is deterministic for a
+// given seed and event order. A fault-free fabric returns 0 without touching
+// the RNG.
+func (f *Fabric) TransferPenalty(a, b topo.SocketID, base sim.Time, rng *sim.RNG) sim.Time {
+	if len(f.degrade) == 0 || a == b {
+		return 0
+	}
+	var extra sim.Time
+	cur := a
+	for _, next := range f.m.Route(a, b) {
+		if d, ok := f.degrade[[2]topo.SocketID{cur, next}]; ok {
+			if d.DelayFactor > 1 {
+				extra += sim.Time(float64(base) * (d.DelayFactor - 1))
+			}
+			for try := 0; d.LossProb > 0 && try < maxRetransmits; try++ {
+				if rng.Float64() >= d.LossProb {
+					break
+				}
+				extra += base // end-to-end retry of the whole transaction
+				f.retransmits++
+			}
+		}
+		cur = next
+	}
+	return extra
 }
 
 // Machine returns the machine this fabric belongs to.

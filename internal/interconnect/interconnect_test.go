@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"multikernel/internal/sim"
 	"multikernel/internal/topo"
 )
 
@@ -98,5 +99,99 @@ func TestSnapshotListsLinks(t *testing.T) {
 	s := f.Snapshot()
 	if !strings.Contains(s, "link 0->1: 5 dwords") {
 		t.Fatalf("snapshot: %q", s)
+	}
+}
+
+func TestDegradeDelayFactorAddsPenalty(t *testing.T) {
+	m := topo.AMD2x2()
+	f := New(m)
+	rng := sim.NewRNG(1)
+	if f.Degraded() {
+		t.Fatal("fresh fabric reports degraded")
+	}
+	if got := f.TransferPenalty(0, 1, 100, rng); got != 0 {
+		t.Fatalf("fault-free penalty=%d, want 0", got)
+	}
+	f.SetDegrade(0, 1, Degrade{DelayFactor: 3})
+	if !f.Degraded() {
+		t.Fatal("degraded fabric not reported")
+	}
+	// DelayFactor 3 adds 2x the base latency on the single crossed link,
+	// symmetrically in both directions.
+	if got := f.TransferPenalty(0, 1, 100, rng); got != 200 {
+		t.Fatalf("penalty=%d, want 200", got)
+	}
+	if got := f.TransferPenalty(1, 0, 100, rng); got != 200 {
+		t.Fatalf("reverse penalty=%d, want 200", got)
+	}
+	f.ClearDegrade(0, 1)
+	if f.Degraded() {
+		t.Fatal("degradation not cleared")
+	}
+	if got := f.TransferPenalty(0, 1, 100, rng); got != 0 {
+		t.Fatalf("penalty after clear=%d, want 0", got)
+	}
+}
+
+func TestDegradeOnlyChargesCrossedLinks(t *testing.T) {
+	m := topo.AMD8x4()
+	f := New(m)
+	rng := sim.NewRNG(1)
+	// Degrade a link that is NOT on the 0->4 route.
+	f.SetDegrade(2, 6, Degrade{DelayFactor: 10})
+	if got := f.TransferPenalty(0, 4, 100, rng); got != 0 {
+		t.Fatalf("penalty on unaffected route=%d, want 0", got)
+	}
+	// Multi-hop route 0->2 crosses 0-4 and 4-2; degrade the second hop.
+	route := m.Route(0, 2)
+	if len(route) != 2 {
+		t.Fatalf("precondition: route 0->2 = %v", route)
+	}
+	f.SetDegrade(route[0], 2, Degrade{DelayFactor: 2})
+	if got := f.TransferPenalty(0, 2, 100, rng); got != 100 {
+		t.Fatalf("multi-hop penalty=%d, want 100", got)
+	}
+}
+
+func TestPartitionedLinkPaysFullRetryBudgetDeterministically(t *testing.T) {
+	m := topo.AMD2x2()
+	f := New(m)
+	rng := sim.NewRNG(9)
+	f.SetDegrade(0, 1, Degrade{LossProb: 1})
+	// LossProb 1 always exhausts the retry budget: penalty is exactly
+	// maxRetransmits full retries, independent of the RNG.
+	want := sim.Time(maxRetransmits * 100)
+	if got := f.TransferPenalty(0, 1, 100, rng); got != want {
+		t.Fatalf("partition penalty=%d, want %d", got, want)
+	}
+	if f.Retransmits() != maxRetransmits {
+		t.Fatalf("retransmits=%d, want %d", f.Retransmits(), maxRetransmits)
+	}
+}
+
+func TestLossyLinkIsSeedDeterministic(t *testing.T) {
+	m := topo.AMD2x2()
+	run := func() []sim.Time {
+		f := New(m)
+		rng := sim.NewRNG(1234)
+		f.SetDegrade(0, 1, Degrade{LossProb: 0.4})
+		var out []sim.Time
+		for i := 0; i < 50; i++ {
+			out = append(out, f.TransferPenalty(0, 1, 100, rng))
+		}
+		return out
+	}
+	a, b := run(), run()
+	var retried bool
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %d vs %d", i, a[i], b[i])
+		}
+		if a[i] > 0 {
+			retried = true
+		}
+	}
+	if !retried {
+		t.Fatal("lossy link never retried in 50 draws at p=0.4")
 	}
 }

@@ -202,3 +202,49 @@ func TestBindUnknownServiceFails(t *testing.T) {
 		t.Fatal("bind to unknown name succeeded")
 	}
 }
+
+// TestPowerOffMulticastRootMidOperation powers off a core while it is the
+// multicast aggregation root of an in-flight shootdown. The victim's monitor
+// learns it is offline before its slow children have answered; it must drain
+// the aggregation duty (forward the ack upward) before parking, or both the
+// shootdown and the power-off would hang forever.
+func TestPowerOffMulticastRootMidOperation(t *testing.T) {
+	f := newFixture(t, topo.AMD4x4())
+	// Socket 1's cores answer slowly, so the aggregation at core 4 (socket 1's
+	// root in the tree from core 0) is still pending when the power-off lands.
+	f.net.Hooks.Invalidate = func(p *sim.Proc, core topo.CoreID, op Op) {
+		f.invalidated[core]++
+		if core >= 5 && core <= 7 {
+			p.Sleep(60_000)
+		}
+	}
+	var ok bool
+	var offErr error
+	f.e.Spawn("app", func(p *sim.Proc) {
+		ok = f.net.Monitor(0).Unmap(p, 0x10000, 4096, nil, NUMAAware)
+	})
+	f.e.Spawn("hotplug", func(p *sim.Proc) {
+		p.Sleep(8_000) // after the shootdown reaches core 4, before its children answer
+		offErr = f.net.PowerOff(p, 1, 4)
+	})
+	f.e.Run()
+	if offErr != nil {
+		t.Fatalf("power-off: %v", offErr)
+	}
+	if !ok {
+		t.Fatal("unmap hung or failed around the power-off")
+	}
+	for _, c := range []topo.CoreID{5, 6, 7} {
+		if f.invalidated[c] != 1 {
+			t.Errorf("core %d invalidated %d times, want 1", c, f.invalidated[c])
+		}
+	}
+	for c := 0; c < 16; c++ {
+		if c != 4 && f.net.Monitor(topo.CoreID(c)).Online(4) {
+			t.Errorf("monitor %d still believes core 4 is online", c)
+		}
+	}
+	if dl := f.e.Deadlocked(); len(dl) != 0 {
+		t.Fatalf("deadlocked procs: %v", dl)
+	}
+}

@@ -57,6 +57,12 @@ type Stats struct {
 	Commits   uint64
 	Aborts    uint64
 	Wakeups   uint64 // times this monitor was woken from its blocked state
+
+	// Fault-tolerance counters (only move when Network.OpTimeout > 0).
+	Excised    uint64 // cores this monitor declared dead and removed from its view
+	Recoveries uint64 // deadline expiries that triggered a recovery round
+	Strays     uint64 // late responses for operations already recovered or done
+	Dropped    uint64 // sends abandoned on a dead channel (ChannelDead verdict)
 }
 
 // Hooks let higher layers (the VM system, the capability system) plug
@@ -81,7 +87,15 @@ type Network struct {
 	KB    *skb.KB
 	Hooks Hooks
 
+	// OpTimeout, when non-zero, arms a deadline on every outstanding
+	// protocol phase and on every pending aggregation: a phase that does not
+	// complete within its deadline triggers recovery (suspect excision,
+	// re-planning, re-sending). Zero keeps the legacy fail-free behavior,
+	// cycle-identical to builds without fault tolerance.
+	OpTimeout sim.Time
+
 	monitors []*Monitor
+	failed   []bool // ground truth of fail-stopped cores (set by FailStop)
 }
 
 // localReq is a request handed to a monitor by a process on its core.
@@ -96,22 +110,42 @@ type localReq struct {
 
 // opState tracks an operation this monitor initiated.
 type opState struct {
-	req      *localReq
-	plan     []sendPlan // dissemination plan, reused for the decision phase
-	need     int        // outstanding responses in the current phase
-	got      int
-	allYes   bool
-	decision bool // 2PC: commit (true) or abort
-	phase    int  // 1 = prepare/shootdown, 2 = decision
+	req        *localReq
+	plan       []sendPlan           // dissemination plan, reused for the decision phase
+	pending    map[topo.CoreID]bool // direct targets yet to respond in this phase
+	allYes     bool
+	decision   bool     // 2PC: commit (true) or abort
+	phase      int      // 1 = prepare/shootdown, 2 = decision
+	deadline   sim.Time // phase deadline; 0 = none (fault tolerance off)
+	recoveries int      // recovery rounds already spent on this operation
 }
 
 // fwdState tracks a message an aggregation node forwarded to its children.
 type fwdState struct {
-	parent  topo.CoreID // who gets the aggregate response
-	need    int
-	got     int
-	allYes  bool
-	ackKind MsgKind // aggregate response type (ack or vote)
+	parent   topo.CoreID // who gets the aggregate response
+	op       Op
+	pending  map[topo.CoreID]bool // children yet to respond
+	allYes   bool
+	ackKind  MsgKind  // aggregate response type (ack or vote)
+	deadline sim.Time // aggregation deadline; 0 = none
+}
+
+// planPending builds the response-tracking set for a dissemination plan.
+func planPending(plan []sendPlan) map[topo.CoreID]bool {
+	pend := make(map[topo.CoreID]bool, len(plan))
+	for _, s := range plan {
+		pend[s.to] = true
+	}
+	return pend
+}
+
+// corePending builds a response-tracking set from explicit cores.
+func corePending(cores []topo.CoreID) map[topo.CoreID]bool {
+	pend := make(map[topo.CoreID]bool, len(cores))
+	for _, c := range cores {
+		pend[c] = true
+	}
+	return pend
 }
 
 type lockRange struct {
@@ -134,6 +168,7 @@ type Monitor struct {
 	proc   *sim.Proc
 	parked bool
 	down   bool   // core powered off (§3.3 hotplug)
+	dead   bool   // core fail-stopped (fault injection); state is frozen
 	view   []bool // replicated membership: which cores this monitor believes online
 	seq    uint64
 
@@ -149,6 +184,7 @@ type Monitor struct {
 func NewNetwork(e *sim.Engine, sys *cache.System, kern *kernel.System, kb *skb.KB, hooks Hooks) *Network {
 	n := &Network{Eng: e, Sys: sys, Kern: kern, KB: kb, Hooks: hooks}
 	m := sys.Machine()
+	n.failed = make([]bool, m.NumCores())
 	for c := 0; c < m.NumCores(); c++ {
 		view := make([]bool, m.NumCores())
 		for i := range view {
@@ -205,10 +241,21 @@ func (n *Network) wake(p *sim.Proc, target topo.CoreID) {
 	}
 }
 
-// send transmits a protocol message to another monitor and wakes it.
+// send transmits a protocol message to another monitor and wakes it. With
+// fault tolerance enabled the send carries a deadline: a channel whose
+// receiver died stops draining its ring, and once it fills the sender backs
+// off, times out, and abandons the message rather than spinning forever. A
+// channel already carrying a ChannelDead verdict fails immediately.
 func (m *Monitor) send(p *sim.Proc, to topo.CoreID, msg urpc.Message) {
 	p.Sleep(marshalCost)
-	m.out[to].Send(p, msg)
+	if m.net.OpTimeout > 0 {
+		if !m.out[to].SendTimeout(p, msg, m.net.OpTimeout) {
+			m.stats.Dropped++
+			return
+		}
+	} else {
+		m.out[to].Send(p, msg)
+	}
 	m.net.wake(p, to)
 }
 
@@ -230,13 +277,20 @@ func (m *Monitor) run(p *sim.Proc) {
 				progress = true
 			}
 		}
+		if m.net.OpTimeout > 0 && m.checkDeadlines(p) {
+			progress = true
+		}
 		p.Sleep(loopCost)
 		if progress {
 			idle = 0
 			continue
 		}
 		idle++
-		if idle < idleToBlock {
+		// With fault tolerance armed, a monitor with outstanding protocol
+		// state must keep polling: its deadlines are its failure detector,
+		// and a blocked monitor would only wake on a message that a dead
+		// peer will never send.
+		if idle < idleToBlock || (m.net.OpTimeout > 0 && len(m.ops)+len(m.fwd) > 0) {
 			p.Sleep(idleSleep)
 			continue
 		}
@@ -246,8 +300,12 @@ func (m *Monitor) run(p *sim.Proc) {
 		idle = 0
 		// Being re-dispatched after an interrupt-driven wakeup.
 		p.Sleep(costs.Trap + costs.CSwitch)
-		for m.down {
-			// Powered off: sleep until the PowerOn IPI (§3.3).
+		for m.down && len(m.fwd) == 0 && len(m.ops) == 0 {
+			// Powered off: sleep until the PowerOn IPI (§3.3). A monitor
+			// that is still the aggregation root of an in-flight operation
+			// (or initiated one) drains that duty first — the membership
+			// change that took it offline may have raced with a protocol
+			// round that still counts on its responses.
 			p.Sleep(coreDownParkCost)
 			m.parked = true
 			p.Park()
@@ -265,58 +323,67 @@ func (m *Monitor) dispatch(p *sim.Proc, src topo.CoreID, raw urpc.Message) {
 	case MsgShootdown, MsgShootdownFwd:
 		m.handleShootdown(p, src, op, aux, kind == MsgShootdownFwd)
 	case MsgShootdownAck:
-		m.handleAck(p, op, func(st *opState) {
+		m.handleAck(p, src, op, func(st *opState) {
 			st.req.fut.Complete(true)
 			m.stats.Commits++
 		})
 	case MsgPrepare, MsgPrepareFwd:
 		m.handlePrepare(p, src, op, aux, kind == MsgPrepareFwd)
 	case MsgVote:
-		m.handleVote(p, op, aux)
+		m.handleVote(p, src, op, aux)
 	case MsgDecision, MsgDecisionFwd:
 		m.handleDecision(p, src, op, aux, kind == MsgDecisionFwd)
 	case MsgDecisionAck:
-		m.handleAck(p, op, func(st *opState) {
+		m.handleAck(p, src, op, func(st *opState) {
 			m.finish2PC(p, st)
 		})
 	case MsgCapSend:
 		m.handleCapSend(p, src, op, aux)
 	case MsgCapAck:
-		m.handleAck(p, op, func(st *opState) { st.req.fut.Complete(aux == 1) })
+		m.handleAck(p, src, op, func(st *opState) { st.req.fut.Complete(aux == 1) })
 	case MsgPing:
 		m.send(p, op.Origin, wire(MsgPong, op, 0))
 	case MsgPong:
-		m.handleAck(p, op, func(st *opState) { st.req.fut.Complete(true) })
+		m.handleAck(p, src, op, func(st *opState) { st.req.fut.Complete(true) })
 	default:
 		panic(fmt.Sprintf("monitor%d: unknown message %v from %d", m.Core, kind, src))
 	}
 }
 
 // handleAck consumes one response toward the current phase of an operation
-// this monitor initiated; done runs when the phase completes.
-func (m *Monitor) handleAck(p *sim.Proc, op Op, done func(*opState)) {
+// this monitor initiated; done runs when the phase completes. Responses are
+// tracked per responder, so a duplicate (a slow core answering both the
+// original and a recovery re-send) never completes a phase early.
+func (m *Monitor) handleAck(p *sim.Proc, src topo.CoreID, op Op, done func(*opState)) {
 	st, ok := m.ops[op.ID]
 	if !ok {
 		// Response for an aggregate this core forwarded.
-		m.handleFwdAck(p, op)
+		m.handleFwdAck(p, src, op)
 		return
 	}
-	st.got++
-	if st.got >= st.need {
+	delete(st.pending, src)
+	if len(st.pending) == 0 {
 		delete(m.ops, op.ID)
 		done(st)
 	}
 }
 
-func (m *Monitor) handleFwdAck(p *sim.Proc, op Op) {
+func (m *Monitor) handleFwdAck(p *sim.Proc, src topo.CoreID, op Op) {
 	fw, ok := m.fwd[op.ID]
 	if !ok {
+		// With fault tolerance, a late response for an aggregation already
+		// recovered (answered upward on timeout) is expected; without it,
+		// it is a protocol bug.
+		if m.net.OpTimeout > 0 {
+			m.stats.Strays++
+			return
+		}
 		panic(fmt.Sprintf("monitor%d: stray ack for op %#x", m.Core, op.ID))
 	}
-	fw.got++
-	if fw.got >= fw.need {
+	delete(fw.pending, src)
+	if len(fw.pending) == 0 {
 		delete(m.fwd, op.ID)
-		aux := uint64(fw.need + 1)
+		aux := uint64(1)
 		if fw.ackKind == MsgVote {
 			aux = 0
 			if fw.allYes {

@@ -51,6 +51,17 @@ func newFixture(t *testing.T, m *topo.Machine) *fixture {
 		Apply: func(p *sim.Proc, core topo.CoreID, op Op) { f.applied[core]++ },
 	})
 	t.Cleanup(f.e.Close)
+	// Fault-free runs must never exercise the deadline machinery: no URPC
+	// timeout or backed-off retry on any inter-monitor channel.
+	t.Cleanup(func() {
+		for _, mon := range f.net.monitors {
+			for to, ch := range mon.out {
+				if st := ch.Stats(); st.Timeouts != 0 || st.Retries != 0 {
+					t.Errorf("fault-free run: channel %d->%d saw timeouts=%d retries=%d", mon.Core, to, st.Timeouts, st.Retries)
+				}
+			}
+		}
+	})
 	return f
 }
 

@@ -125,7 +125,7 @@ func (m *Monitor) startOp(p *sim.Proc, req *localReq) {
 		m.start2PC(p, req)
 	case OpNone:
 		// Ping or capability transfer: single round trip to the target.
-		m.ops[op.ID] = &opState{req: req, need: 1}
+		m.ops[op.ID] = &opState{req: req, pending: corePending(req.targets[:1]), deadline: m.opDeadline(p, 0)}
 		if req.isCap {
 			m.send(p, req.targets[0], wire(MsgCapSend, op, req.capRights))
 		} else {
@@ -147,7 +147,7 @@ func (m *Monitor) startShootdown(p *sim.Proc, req *localReq) {
 		req.fut.Complete(true)
 		return
 	}
-	m.ops[req.op.ID] = &opState{req: req, need: len(plan), phase: 1}
+	m.ops[req.op.ID] = &opState{req: req, plan: plan, pending: planPending(plan), phase: 1, deadline: m.opDeadline(p, 0)}
 	for _, s := range plan {
 		m.send(p, s.to, wire(MsgShootdown, req.op, s.mask))
 	}
@@ -169,7 +169,7 @@ func (m *Monitor) start2PC(p *sim.Proc, req *localReq) {
 		req.fut.Complete(true)
 		return
 	}
-	st := &opState{req: req, need: len(plan), phase: 1, allYes: true}
+	st := &opState{req: req, pending: planPending(plan), phase: 1, allYes: true, deadline: m.opDeadline(p, 0)}
 	st.plan = plan
 	m.ops[op.ID] = st
 	for _, s := range plan {
@@ -195,7 +195,7 @@ func (m *Monitor) handleShootdown(p *sim.Proc, src topo.CoreID, op Op, aux uint6
 	m.invalidateLocal(p, op)
 	children := m.expandMask(aux & (auxCommit - 1))
 	if len(children) > 0 && !isFwd {
-		m.fwd[op.ID] = &fwdState{parent: src, need: len(children), ackKind: MsgShootdownAck}
+		m.fwd[op.ID] = &fwdState{parent: src, op: op, pending: corePending(children), ackKind: MsgShootdownAck, deadline: m.fwdDeadline(p)}
 		for _, c := range children {
 			m.send(p, c, wire(MsgShootdownFwd, op, 0))
 		}
@@ -227,7 +227,7 @@ func (m *Monitor) handlePrepare(p *sim.Proc, src topo.CoreID, op Op, aux uint64,
 	}
 	children := m.expandMask(aux & (auxCommit - 1))
 	if len(children) > 0 && !isFwd {
-		m.fwd[op.ID] = &fwdState{parent: src, need: len(children), allYes: ok, ackKind: MsgVote}
+		m.fwd[op.ID] = &fwdState{parent: src, op: op, pending: corePending(children), allYes: ok, ackKind: MsgVote, deadline: m.fwdDeadline(p)}
 		for _, c := range children {
 			m.send(p, c, wire(MsgPrepareFwd, op, 0))
 		}
@@ -240,20 +240,20 @@ func (m *Monitor) handlePrepare(p *sim.Proc, src topo.CoreID, op Op, aux uint64,
 	m.send(p, src, wire(MsgVote, op, vote))
 }
 
-func (m *Monitor) handleVote(p *sim.Proc, op Op, aux uint64) {
+func (m *Monitor) handleVote(p *sim.Proc, src topo.CoreID, op Op, aux uint64) {
 	if st, ok := m.ops[op.ID]; ok {
-		st.got++
 		if aux != 1 {
 			st.allYes = false
 		}
-		if st.got < st.need {
+		delete(st.pending, src)
+		if len(st.pending) > 0 {
 			return
 		}
 		// Phase 1 complete: decide and disseminate.
 		st.decision = st.allYes
 		st.phase = 2
-		st.got = 0
-		st.need = len(st.plan)
+		st.pending = planPending(st.plan)
+		st.deadline = m.opDeadline(p, st.recoveries)
 		for _, s := range st.plan {
 			aux := s.mask
 			if st.decision {
@@ -266,13 +266,17 @@ func (m *Monitor) handleVote(p *sim.Proc, op Op, aux uint64) {
 	// Aggregate votes on behalf of children.
 	fw, ok := m.fwd[op.ID]
 	if !ok {
+		if m.net.OpTimeout > 0 {
+			m.stats.Strays++
+			return
+		}
 		panic(fmt.Sprintf("monitor%d: stray vote for op %#x", m.Core, op.ID))
 	}
 	if aux != 1 {
 		fw.allYes = false
 	}
-	fw.got++
-	if fw.got >= fw.need {
+	delete(fw.pending, src)
+	if len(fw.pending) == 0 {
 		delete(m.fwd, op.ID)
 		v := uint64(0)
 		if fw.allYes {
@@ -290,7 +294,7 @@ func (m *Monitor) handleDecision(p *sim.Proc, src topo.CoreID, op Op, aux uint64
 	m.unlock(op.ID)
 	children := m.expandMask(aux & (auxCommit - 1))
 	if len(children) > 0 && !isFwd {
-		m.fwd[op.ID] = &fwdState{parent: src, need: len(children), ackKind: MsgDecisionAck}
+		m.fwd[op.ID] = &fwdState{parent: src, op: op, pending: corePending(children), ackKind: MsgDecisionAck, deadline: m.fwdDeadline(p)}
 		for _, c := range children {
 			m.send(p, c, wire(MsgDecisionFwd, op, aux&auxCommit))
 		}

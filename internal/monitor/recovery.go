@@ -1,0 +1,231 @@
+package monitor
+
+import (
+	"sort"
+
+	"multikernel/internal/sim"
+	"multikernel/internal/topo"
+)
+
+// This file makes the agreement protocols survive fail-stop cores. The
+// mechanism follows the paper's own recipe: the set of online cores is
+// replicated OS state (§3.3), so failure handling is just another membership
+// change disseminated over the existing one-phase protocol. Detection is by
+// timeout — with Network.OpTimeout armed, every outstanding protocol phase
+// and every pending aggregation carries a deadline; when one expires, the
+// waiting monitor excises the non-responders from its replicated view,
+// disseminates OpCoreDown for each of them (which recomputes multicast trees
+// everywhere, since trees are derived from the view), re-plans the operation
+// over the survivors, and re-runs the current phase. Re-sent phases are
+// harmless: one-phase operations are idempotent by design (§5.1), 2PC
+// prepares are lock-idempotent per operation ID, and responses are tracked
+// per responder so duplicates never complete a phase early.
+
+// maxRecoveries bounds recovery rounds per operation; each round doubles the
+// phase deadline. An operation that cannot complete within the budget fails
+// (aborts for 2PC) rather than retrying forever.
+const maxRecoveries = 3
+
+// EnableFaultTolerance arms deadline-based failure detection and recovery on
+// every monitor. opTimeout is the aggregation deadline (how long an
+// aggregation node waits for its children); initiators wait twice that per
+// phase so that subtree recovery gets a chance to resolve first.
+func (n *Network) EnableFaultTolerance(opTimeout sim.Time) { n.OpTimeout = opTimeout }
+
+// FailStop fail-stops core c: its monitor process is killed at the current
+// virtual time and never responds again. The rest of the system is NOT
+// informed — surviving monitors learn of the death only through their own
+// timeouts. Safe to call from an engine callback (fault.Injector's OnKill).
+func (n *Network) FailStop(c topo.CoreID) {
+	if n.failed[c] {
+		return
+	}
+	n.failed[c] = true
+	m := n.monitors[c]
+	m.dead = true
+	m.parked = false // a dead monitor must never be woken or unparked
+	n.Eng.Kill(m.proc)
+}
+
+// CoreFailed reports the ground truth of whether core c was fail-stopped.
+func (n *Network) CoreFailed(c topo.CoreID) bool { return n.failed[c] }
+
+// Dead reports whether this monitor's core was fail-stopped.
+func (m *Monitor) Dead() bool { return m.dead }
+
+// opDeadline returns the deadline for an initiator phase started now, given
+// how many recovery rounds the operation has already been through.
+func (m *Monitor) opDeadline(p *sim.Proc, recoveries int) sim.Time {
+	if m.net.OpTimeout == 0 {
+		return 0
+	}
+	return p.Now() + (2*m.net.OpTimeout)<<uint(recoveries)
+}
+
+// fwdDeadline returns the deadline for an aggregation started now.
+func (m *Monitor) fwdDeadline(p *sim.Proc) sim.Time {
+	if m.net.OpTimeout == 0 {
+		return 0
+	}
+	return p.Now() + m.net.OpTimeout
+}
+
+// sortedCores returns the set's members in ascending order, so recovery
+// decisions never depend on map iteration order.
+func sortedCores(set map[topo.CoreID]bool) []topo.CoreID {
+	out := make([]topo.CoreID, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// checkDeadlines runs one failure-detector sweep, reporting whether any
+// recovery ran (the caller must treat that as loop progress: recovery can
+// self-push local requests, and a monitor that parked before popping them
+// would never be woken). Expired aggregations are recovered before expired
+// initiator phases (an aggregator answering upward may resolve the initiator
+// without a full re-plan), and within each class operations recover in
+// ascending ID order for determinism.
+func (m *Monitor) checkDeadlines(p *sim.Proc) bool {
+	now := p.Now()
+	var fwIDs []uint64
+	for id, fw := range m.fwd {
+		if fw.deadline > 0 && now >= fw.deadline {
+			fwIDs = append(fwIDs, id)
+		}
+	}
+	sort.Slice(fwIDs, func(i, j int) bool { return fwIDs[i] < fwIDs[j] })
+	for _, id := range fwIDs {
+		if fw, ok := m.fwd[id]; ok {
+			m.recoverFwd(p, id, fw)
+		}
+	}
+	var opIDs []uint64
+	for id, st := range m.ops {
+		if st.deadline > 0 && now >= st.deadline {
+			opIDs = append(opIDs, id)
+		}
+	}
+	sort.Slice(opIDs, func(i, j int) bool { return opIDs[i] < opIDs[j] })
+	for _, id := range opIDs {
+		if st, ok := m.ops[id]; ok {
+			m.recoverOp(p, id, st)
+		}
+	}
+	return len(fwIDs)+len(opIDs) > 0
+}
+
+// excise removes each suspect from this monitor's replicated view, renders a
+// ChannelDead verdict on its channel, and disseminates OpCoreDown so every
+// surviving monitor's replica — and therefore every future multicast tree —
+// drops the dead core. Dissemination reuses the ordinary one-phase membership
+// path by self-submitting a local request; it runs as its own operation, with
+// its own deadline, on the next loop iteration.
+func (m *Monitor) excise(p *sim.Proc, suspects []topo.CoreID) {
+	for _, s := range suspects {
+		if !m.view[s] {
+			continue
+		}
+		m.view[s] = false
+		m.out[s].MarkDead()
+		m.stats.Excised++
+		op := Op{Kind: OpCoreDown, ID: m.nextOpID(), Origin: m.Core, Bytes: uint64(s)}
+		m.local.Push(&localReq{op: op, protocol: NUMAAware, fut: sim.NewFuture[bool](m.net.Eng)})
+	}
+}
+
+// recoverOp handles an expired initiator phase: excise the non-responders,
+// re-plan over the survivors, and re-run the current phase with a doubled
+// deadline. Operations out of recovery budget fail; single-target operations
+// (ping, capability transfer) cannot be re-planned and fail immediately.
+func (m *Monitor) recoverOp(p *sim.Proc, id uint64, st *opState) {
+	m.stats.Recoveries++
+	m.excise(p, sortedCores(st.pending))
+	st.recoveries++
+	if st.recoveries > maxRecoveries {
+		delete(m.ops, id)
+		m.failOp(p, st)
+		return
+	}
+	op := st.req.op
+	if op.Kind == OpNone {
+		delete(m.ops, id)
+		st.req.fut.Complete(false)
+		return
+	}
+	plan := m.plan(st.req.protocol, st.req.targets)
+	if len(plan) == 0 {
+		// Every remaining participant is gone; the operation completes with
+		// whatever the survivors (here: only the initiator) agreed on.
+		delete(m.ops, id)
+		m.completeEmptyPhase(p, st)
+		return
+	}
+	st.plan = plan
+	st.pending = planPending(plan)
+	st.deadline = m.opDeadline(p, st.recoveries)
+	switch {
+	case st.phase == 2:
+		for _, s := range plan {
+			aux := s.mask
+			if st.decision {
+				aux |= auxCommit
+			}
+			m.send(p, s.to, wire(MsgDecision, op, aux))
+		}
+	case op.Kind == OpRetype || op.Kind == OpRevoke:
+		for _, s := range plan {
+			m.send(p, s.to, wire(MsgPrepare, op, s.mask))
+		}
+	default:
+		for _, s := range plan {
+			m.send(p, s.to, wire(MsgShootdown, op, s.mask))
+		}
+	}
+}
+
+// completeEmptyPhase finishes an operation whose re-planned participant set
+// became empty mid-recovery.
+func (m *Monitor) completeEmptyPhase(p *sim.Proc, st *opState) {
+	switch st.req.op.Kind {
+	case OpRetype, OpRevoke:
+		if st.phase == 1 {
+			st.decision = st.allYes
+		}
+		m.finish2PC(p, st)
+	default:
+		m.stats.Commits++
+		st.req.fut.Complete(true)
+	}
+}
+
+// failOp gives up on an operation that exhausted its recovery budget.
+func (m *Monitor) failOp(p *sim.Proc, st *opState) {
+	if k := st.req.op.Kind; k == OpRetype || k == OpRevoke {
+		st.decision = false
+		m.finish2PC(p, st)
+		return
+	}
+	m.stats.Aborts++
+	st.req.fut.Complete(false)
+}
+
+// recoverFwd handles an expired aggregation: the silent children are excised
+// and the aggregate response goes upward with what the survivors said — a
+// dead child has no TLB to flush and no locks worth honoring, so it neither
+// blocks an ack nor turns a vote into an abort.
+func (m *Monitor) recoverFwd(p *sim.Proc, id uint64, fw *fwdState) {
+	m.stats.Recoveries++
+	m.excise(p, sortedCores(fw.pending))
+	delete(m.fwd, id)
+	aux := uint64(1)
+	if fw.ackKind == MsgVote {
+		aux = 0
+		if fw.allYes {
+			aux = 1
+		}
+	}
+	m.send(p, fw.parent, wire(fw.ackKind, fw.op, aux))
+}

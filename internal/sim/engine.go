@@ -40,9 +40,9 @@ const Forever = Time(1) << 62
 type event struct {
 	at   Time
 	seq  uint64
-	p    *Proc   // proc to resume, or nil
-	fn   func()  // callback to invoke, if p == nil
-	next *event  // free-list link while pooled
+	p    *Proc  // proc to resume, or nil
+	fn   func() // callback to invoke, if p == nil
+	next *event // free-list link while pooled
 }
 
 // eventQueue is a 4-ary min-heap of events ordered by (at, seq). A 4-ary
@@ -230,9 +230,11 @@ func (e *Engine) dispatch() bool {
 			fn() // engine-context fast path: no handoff
 			continue
 		}
-		if p.done || p.killed {
+		if p.done {
 			continue // stale wakeup
 		}
+		// A killed proc is still resumed: its goroutine must run once more
+		// to unwind via the errKilled panic and release itself.
 		e.running = p
 		p.resume <- struct{}{}
 		return true
@@ -314,6 +316,27 @@ func (e *Engine) Close() {
 		v.resume <- struct{}{}
 		<-e.driver
 	}
+}
+
+// Kill fail-stops p at the current virtual time: no further simulated code of
+// p runs, and its goroutine is released deterministically. It may be called
+// from another Proc or from an engine callback (a fault injector timer); a
+// proc may also kill itself, in which case it exits at its next yield. Killing
+// a proc that is already dead is a no-op. Procs blocked on a channel or lock
+// modeled with Park are unwound exactly as by Close, so a peer of the killed
+// proc that later blocks on the now-poisoned channel simply parks forever and
+// shows up in Deadlocked (or is reaped by Close).
+func (e *Engine) Kill(p *Proc) {
+	if p.done || p.killed {
+		return
+	}
+	p.killed = true
+	// Whether p is parked, sleeping, or running (self-kill), one immediate
+	// resume event unwinds it at its next yield; any other scheduled wakeup
+	// finds p.done and is discarded.
+	p.waiting = false
+	p.token = false
+	e.schedule(0, p, nil)
 }
 
 // CheckQuiesced is a test helper: it panics if any non-daemon proc is still

@@ -40,12 +40,17 @@ const (
 	pollGap       = 25 // cycles between successive idle polls
 )
 
+// maxBackoffGap caps the exponential poll backoff of the deadline variants.
+const maxBackoffGap = 1600
+
 // Stats counts channel activity.
 type Stats struct {
 	Sent      uint64
 	Received  uint64
 	FullStall uint64 // sends that had to wait for ring space
 	Notifies  uint64 // blocked-receiver wakeups
+	Timeouts  uint64 // SendTimeout/RecvTimeout deadline expiries
+	Retries   uint64 // backed-off re-polls in the deadline variants
 }
 
 // Channel is a unidirectional point-to-point URPC channel.
@@ -65,6 +70,7 @@ type Channel struct {
 	prefetch  bool
 
 	blocked *sim.Proc // receiver parked awaiting notification, if any
+	dead    bool      // peer declared fail-stopped; sends are refused
 	stats   Stats
 }
 
@@ -136,6 +142,45 @@ func (c *Channel) Send(p *sim.Proc, msg Message) {
 			p.Sleep(pollGap)
 		}
 	}
+	c.transmit(p, msg)
+}
+
+// SendTimeout is Send with a deadline: if the ring stays full past timeout
+// cycles — the signature of a fail-stopped receiver that no longer drains its
+// slots — it gives up and reports false. While waiting it re-polls the ack
+// line with exponential backoff (pollGap doubling up to maxBackoffGap), so a
+// merely slow receiver costs progressively less coherence traffic. A send on
+// a channel already marked Dead fails immediately without polling. The
+// fault-free fast path (ring not full) is cycle-identical to Send.
+func (c *Channel) SendTimeout(p *sim.Proc, msg Message, timeout sim.Time) bool {
+	if c.dead {
+		return false
+	}
+	deadline := p.Now() + timeout
+	gap := sim.Time(pollGap)
+	for c.sendSeq-c.sendAcked >= uint64(c.slots) {
+		c.stats.FullStall++
+		c.sendAcked = c.sys.Load(p, c.Sender, c.ack.Base)
+		if c.sendSeq-c.sendAcked < uint64(c.slots) {
+			break
+		}
+		if p.Now() >= deadline {
+			c.stats.Timeouts++
+			return false
+		}
+		c.stats.Retries++
+		p.Sleep(gap)
+		if gap < maxBackoffGap {
+			gap *= 2
+		}
+	}
+	c.transmit(p, msg)
+	return true
+}
+
+// transmit performs the actual slot write and receiver notification; the ring
+// must have space.
+func (c *Channel) transmit(p *sim.Proc, msg Message) {
 	p.Sleep(sendSetupCost)
 	var line [memory.WordsPerLine]uint64
 	copy(line[:], msg[:])
@@ -222,6 +267,37 @@ func (c *Channel) RecvWindow(p *sim.Proc, window sim.Time) Message {
 		}
 	}
 }
+
+// RecvTimeout polls for a message until the deadline, backing off
+// exponentially between polls (pollGap doubling up to maxBackoffGap). It
+// reports false if the deadline passed with no message — the caller's cue to
+// suspect the sender and render a ChannelDead verdict via MarkDead.
+func (c *Channel) RecvTimeout(p *sim.Proc, timeout sim.Time) (Message, bool) {
+	deadline := p.Now() + timeout
+	gap := sim.Time(pollGap)
+	for {
+		if m, ok := c.TryRecv(p); ok {
+			return m, true
+		}
+		if p.Now() >= deadline {
+			c.stats.Timeouts++
+			return Message{}, false
+		}
+		c.stats.Retries++
+		p.Sleep(gap)
+		if gap < maxBackoffGap {
+			gap *= 2
+		}
+	}
+}
+
+// MarkDead records a ChannelDead verdict: the peer has been declared
+// fail-stopped, and subsequent SendTimeout calls fail immediately. Receiving
+// is unaffected (already-written slots may still be drained).
+func (c *Channel) MarkDead() { c.dead = true }
+
+// Dead reports whether the channel carries a ChannelDead verdict.
+func (c *Channel) Dead() bool { return c.dead }
 
 // PrefetchSlot issues a software prefetch for the next expected message slot
 // from the receiver core. Polling loops over many channels use this to model

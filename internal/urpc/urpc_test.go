@@ -16,6 +16,18 @@ func newSys(m *topo.Machine) (*sim.Engine, *cache.System) {
 	return e, cache.New(e, m, memory.New(m), interconnect.New(m))
 }
 
+// assertFaultFree verifies that a fault-free workload never took a timeout or
+// backoff-retry path: those are reserved for fault handling, and any nonzero
+// count here is an accidental latency regression.
+func assertFaultFree(t *testing.T, chs ...*Channel) {
+	t.Helper()
+	for _, ch := range chs {
+		if st := ch.Stats(); st.Timeouts != 0 || st.Retries != 0 {
+			t.Errorf("%v: fault-free run recorded Timeouts=%d Retries=%d, want 0/0", ch, st.Timeouts, st.Retries)
+		}
+	}
+}
+
 func TestSingleMessageRoundTrip(t *testing.T) {
 	e, sys := newSys(topo.AMD2x2())
 	ch := New(sys, 0, 2, Options{Home: -1})
@@ -29,6 +41,7 @@ func TestSingleMessageRoundTrip(t *testing.T) {
 	if got != (Message{1, 2, 3, 4, 5, 6, 7}) {
 		t.Fatalf("got %v", got)
 	}
+	assertFaultFree(t, ch)
 }
 
 func TestFIFOOrderAcrossManyMessages(t *testing.T) {
@@ -61,6 +74,7 @@ func TestFIFOOrderAcrossManyMessages(t *testing.T) {
 	if st.Sent != n || st.Received != n {
 		t.Fatalf("stats %+v", st)
 	}
+	assertFaultFree(t, ch)
 }
 
 func TestSenderBlocksWhenRingFull(t *testing.T) {
@@ -85,6 +99,7 @@ func TestSenderBlocksWhenRingFull(t *testing.T) {
 	if ch.Stats().Received != 20 {
 		t.Fatalf("received %d", ch.Stats().Received)
 	}
+	assertFaultFree(t, ch)
 }
 
 func TestOneWayLatencyMatchesPaperBallpark(t *testing.T) {
@@ -110,6 +125,7 @@ func TestOneWayLatencyMatchesPaperBallpark(t *testing.T) {
 		if lat < wantLo || lat > wantHi {
 			t.Errorf("latency %d->%d = %d cycles, want in [%d, %d]", sender, receiver, lat, wantLo, wantHi)
 		}
+		assertFaultFree(t, ch)
 	}
 	check(0, 1, 340, 560) // same socket: ~450
 	check(0, 2, 400, 660) // one hop: ~532
@@ -139,6 +155,7 @@ func TestPipelinedThroughputBeatsLatencyBound(t *testing.T) {
 	if perMsg >= 430 {
 		t.Fatalf("pipelined cost %d cycles/msg, want < 430", perMsg)
 	}
+	assertFaultFree(t, ch)
 }
 
 func TestRecvWindowBlocksAndIsNotified(t *testing.T) {
@@ -165,6 +182,7 @@ func TestRecvWindowBlocksAndIsNotified(t *testing.T) {
 	if ch.Stats().Notifies != 1 {
 		t.Fatalf("notifies=%d, want 1", ch.Stats().Notifies)
 	}
+	assertFaultFree(t, ch)
 }
 
 func TestRecvWindowFastPathNoNotify(t *testing.T) {
@@ -179,6 +197,7 @@ func TestRecvWindowFastPathNoNotify(t *testing.T) {
 	if ch.Stats().Notifies != 0 {
 		t.Fatal("message within polling window should not need notification")
 	}
+	assertFaultFree(t, ch)
 }
 
 func TestPrefetchImprovesThroughput(t *testing.T) {
@@ -199,6 +218,7 @@ func TestPrefetchImprovesThroughput(t *testing.T) {
 			}
 		})
 		e.Run()
+		assertFaultFree(t, ch)
 		return end
 	}
 	plain, pf := measure(false), measure(true)
@@ -252,7 +272,8 @@ func TestPayloadIntegrityProperty(t *testing.T) {
 			}
 		})
 		e.Run()
-		return ok
+		st := ch.Stats()
+		return ok && st.Timeouts == 0 && st.Retries == 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
@@ -292,5 +313,137 @@ func TestCanSendAndPending(t *testing.T) {
 	}
 	if s := ch.String(); s == "" {
 		t.Fatal("empty String()")
+	}
+	assertFaultFree(t, ch)
+}
+
+// TestSendTimeoutFastPathMatchesSend: with ring space available, SendTimeout
+// must be cycle-identical to Send — the deadline machinery may not slow the
+// fault-free path.
+func TestSendTimeoutFastPathMatchesSend(t *testing.T) {
+	measure := func(useTimeout bool) sim.Time {
+		e, sys := newSys(topo.AMD2x2())
+		ch := New(sys, 0, 2, Options{Home: -1})
+		var took sim.Time
+		e.Spawn("send", func(p *sim.Proc) {
+			start := p.Now()
+			if useTimeout {
+				if !ch.SendTimeout(p, Message{1}, 10_000) {
+					t.Error("SendTimeout failed with ring space available")
+				}
+			} else {
+				ch.Send(p, Message{1})
+			}
+			took = p.Now() - start
+		})
+		e.Run()
+		if useTimeout {
+			assertFaultFree(t, ch)
+		}
+		return took
+	}
+	plain, timed := measure(false), measure(true)
+	if plain != timed {
+		t.Fatalf("SendTimeout fast path took %d cycles, Send took %d", timed, plain)
+	}
+}
+
+// TestSendTimeoutExpiresOnDeadReceiver: a receiver that never drains the ring
+// (fail-stopped) makes SendTimeout give up by the deadline, with exponential
+// backoff visible in the retry count.
+func TestSendTimeoutExpiresOnDeadReceiver(t *testing.T) {
+	e, sys := newSys(topo.AMD2x2())
+	ch := New(sys, 0, 2, Options{Home: -1, Slots: 2})
+	const timeout = 20_000
+	var gaveUpAt sim.Time
+	var sent, failed int
+	e.Spawn("send", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			if ch.SendTimeout(p, Message{uint64(i)}, timeout) {
+				sent++
+			} else {
+				failed++
+				gaveUpAt = p.Now()
+				return
+			}
+		}
+	})
+	e.Run()
+	e.CheckQuiesced()
+	if sent != 2 || failed != 1 {
+		t.Fatalf("sent=%d failed=%d, want 2 slots filled then 1 timeout", sent, failed)
+	}
+	st := ch.Stats()
+	if st.Timeouts != 1 {
+		t.Fatalf("Timeouts=%d, want 1", st.Timeouts)
+	}
+	if st.Retries == 0 {
+		t.Fatal("no backoff retries recorded before the timeout")
+	}
+	// Exponential backoff keeps the retry count well below timeout/pollGap.
+	if st.Retries >= timeout/pollGap/2 {
+		t.Fatalf("Retries=%d suggests linear polling, want exponential backoff", st.Retries)
+	}
+	if gaveUpAt > timeout+maxBackoffGap+1000 {
+		t.Fatalf("gave up at %d, deadline was ~%d", gaveUpAt, timeout)
+	}
+}
+
+// TestRecvTimeoutExpiresAndDelivers: RecvTimeout returns ok=false after the
+// deadline on a silent channel, and still delivers when a message arrives
+// in time.
+func TestRecvTimeoutExpiresAndDelivers(t *testing.T) {
+	e, sys := newSys(topo.AMD2x2())
+	ch := New(sys, 0, 2, Options{Home: -1})
+	var firstOK, secondOK bool
+	var second Message
+	e.Spawn("recv", func(p *sim.Proc) {
+		_, firstOK = ch.RecvTimeout(p, 5_000) // nothing sent yet: must expire
+		second, secondOK = ch.RecvTimeout(p, 100_000)
+	})
+	e.Spawn("send", func(p *sim.Proc) {
+		p.Sleep(30_000)
+		ch.Send(p, Message{42})
+	})
+	e.Run()
+	e.CheckQuiesced()
+	if firstOK {
+		t.Fatal("RecvTimeout delivered from an empty channel")
+	}
+	if !secondOK || second[0] != 42 {
+		t.Fatalf("second recv: ok=%v msg=%v", secondOK, second)
+	}
+	if st := ch.Stats(); st.Timeouts != 1 || st.Retries == 0 {
+		t.Fatalf("stats %+v, want exactly 1 timeout and some retries", st)
+	}
+}
+
+// TestChannelDeadVerdict: MarkDead makes further deadline sends fail
+// immediately without polling; draining already-written slots still works.
+func TestChannelDeadVerdict(t *testing.T) {
+	e, sys := newSys(topo.AMD2x2())
+	ch := New(sys, 0, 2, Options{Home: -1})
+	e.Spawn("send", func(p *sim.Proc) {
+		if !ch.SendTimeout(p, Message{7}, 10_000) {
+			t.Error("send before verdict failed")
+		}
+		ch.MarkDead()
+		start := p.Now()
+		if ch.SendTimeout(p, Message{8}, 10_000) {
+			t.Error("send succeeded on a dead channel")
+		}
+		if p.Now() != start {
+			t.Error("dead-channel send burned cycles")
+		}
+	})
+	e.Run()
+	if !ch.Dead() {
+		t.Fatal("verdict not recorded")
+	}
+	var got Message
+	e.Spawn("recv", func(p *sim.Proc) { got = ch.Recv(p) })
+	e.Run()
+	if got[0] != 7 {
+		t.Fatalf("in-flight message lost after verdict: %v", got)
 	}
 }
