@@ -1,0 +1,171 @@
+// Command traceguard enforces the trace layer's disabled-overhead contract in
+// CI: it runs the tracing-off benchmarks (-bench=TraceOff in internal/sim)
+// several times, takes the minimum ns/op per benchmark (the least-noisy
+// estimate of the true cost), and fails if any exceeds its committed baseline
+// in ci/trace_overhead_baseline.txt by more than the tolerance.
+//
+// Usage:
+//
+//	go run ./ci/traceguard            # check against the baseline
+//	go run ./ci/traceguard -update    # re-measure and rewrite the baseline
+//
+// The baseline is machine-dependent; -tolerance (default 0.05 per the
+// tracing-overhead budget) can be widened on heterogeneous runners, and
+// -update refreshes the file after intentional engine changes.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const baselineFile = "ci/trace_overhead_baseline.txt"
+
+func main() {
+	update := flag.Bool("update", false, "rewrite the baseline from fresh measurements")
+	tolerance := flag.Float64("tolerance", 0.05, "allowed fractional regression over the baseline")
+	count := flag.Int("count", 5, "benchmark repetitions (minimum taken)")
+	benchtime := flag.String("benchtime", "0.3s", "per-repetition benchmark time")
+	flag.Parse()
+
+	measured, err := runBenchmarks(*count, *benchtime)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "traceguard: %v\n", err)
+		os.Exit(1)
+	}
+	if len(measured) == 0 {
+		fmt.Fprintln(os.Stderr, "traceguard: no TraceOff benchmarks found")
+		os.Exit(1)
+	}
+
+	if *update {
+		if err := writeBaseline(measured); err != nil {
+			fmt.Fprintf(os.Stderr, "traceguard: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("baseline %s updated:\n", baselineFile)
+		for _, name := range sortedKeys(measured) {
+			fmt.Printf("  %-28s %10.2f ns/op\n", name, measured[name])
+		}
+		return
+	}
+
+	baseline, err := readBaseline()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "traceguard: %v (run with -update to create it)\n", err)
+		os.Exit(1)
+	}
+	failed := false
+	for _, name := range sortedKeys(measured) {
+		got := measured[name]
+		want, ok := baseline[name]
+		if !ok {
+			fmt.Printf("NEW   %-28s %10.2f ns/op (no baseline; run -update)\n", name, got)
+			failed = true
+			continue
+		}
+		ratio := got / want
+		status := "ok   "
+		if ratio > 1+*tolerance {
+			status = "SLOW "
+			failed = true
+		}
+		fmt.Printf("%s %-28s %10.2f ns/op vs baseline %10.2f (%+.1f%%)\n",
+			status, name, got, want, (ratio-1)*100)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "traceguard: tracing-off overhead regressed beyond %.0f%%\n", *tolerance*100)
+		os.Exit(1)
+	}
+}
+
+// runBenchmarks executes the TraceOff benchmarks and returns the minimum
+// ns/op observed per benchmark name.
+func runBenchmarks(count int, benchtime string) (map[string]float64, error) {
+	cmd := exec.Command("go", "test", "-run=NONE", "-bench=TraceOff",
+		"-count="+strconv.Itoa(count), "-benchtime="+benchtime, "./internal/sim/")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("benchmark run failed: %v\n%s", err, out)
+	}
+	min := map[string]float64{}
+	sc := bufio.NewScanner(strings.NewReader(string(out)))
+	for sc.Scan() {
+		// "BenchmarkTraceOffWake   258276   799.1 ns/op   0 B/op   0 allocs/op"
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || fields[3] != "ns/op" {
+			continue
+		}
+		name := strings.TrimSuffix(fields[0], "-"+lastCPUSuffix(fields[0]))
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		if cur, ok := min[name]; !ok || ns < cur {
+			min[name] = ns
+		}
+	}
+	return min, nil
+}
+
+// lastCPUSuffix returns the trailing GOMAXPROCS suffix of a benchmark name
+// ("8" in "BenchmarkFoo-8"), or "" when absent.
+func lastCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return ""
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return ""
+	}
+	return name[i+1:]
+}
+
+func readBaseline() (map[string]float64, error) {
+	data, err := os.ReadFile(baselineFile)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s: malformed line %q", baselineFile, line)
+		}
+		ns, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", baselineFile, err)
+		}
+		out[fields[0]] = ns
+	}
+	return out, nil
+}
+
+func writeBaseline(m map[string]float64) error {
+	var b strings.Builder
+	b.WriteString("# Minimum ns/op of the tracing-off benchmarks (ci/traceguard -update).\n")
+	b.WriteString("# CI fails when a measurement exceeds its line here by >5%.\n")
+	for _, name := range sortedKeys(m) {
+		fmt.Fprintf(&b, "%s %.2f\n", name, m[name])
+	}
+	return os.WriteFile(baselineFile, []byte(b.String()), 0o644)
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mkbench [-quick] [-parallel N] [-json file] [-fault-seed N] [experiment ...]
+//	mkbench [-quick] [-parallel N] [-json file] [-trace file] [-fault-seed N] [experiment ...]
 //
 // Experiments: fig3 tab1 tab2 tab3 fig6 fig7 fig8 tab4 fig9 sec54 poll
 // ablations extensions faults, or "all" (the default).
@@ -22,8 +22,17 @@
 //
 // With -json, headline metrics (the last point of every figure series, per-
 // experiment and total wall-clock seconds, and the parallelism used) are
-// written to the named file as one flat JSON object, so successive runs can
-// be diffed to track the performance trajectory.
+// written to the named file as one JSON object; a "metrics" section carries
+// each experiment's merged subsystem registry snapshot (URPC traffic, cache
+// coherence counters, per-link interconnect dwords, monitor agreement stats,
+// latency histograms), so successive runs can be diffed to track the
+// performance trajectory.
+//
+// With -trace, every engine in the sweep records a structured event trace and
+// the merged capture is written as Chrome trace-event JSON, loadable in
+// Perfetto (or chrome://tracing): one process per experiment point, one
+// thread per core, with flow arrows linking URPC sends to receives. The
+// export is byte-identical at any -parallel setting.
 package main
 
 import (
@@ -37,8 +46,10 @@ import (
 
 	"multikernel/internal/expt"
 	"multikernel/internal/harness"
+	"multikernel/internal/metrics"
 	"multikernel/internal/sim"
 	"multikernel/internal/stats"
+	"multikernel/internal/trace"
 )
 
 func main() {
@@ -47,6 +58,7 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"number of experiment points to run concurrently (1 = serial)")
 	jsonOut := flag.String("json", "", "write headline metrics to this file as a flat JSON object")
+	traceOut := flag.String("trace", "", "write a Perfetto-loadable Chrome trace of every engine run to this file")
 	faultSeed := flag.Uint64("fault-seed", 42, "seed family for the faults experiment's schedules")
 	faultsOnly := flag.Bool("faults", false, "shorthand for the faults experiment")
 	flag.Parse()
@@ -69,7 +81,7 @@ func main() {
 		pw, ph = 72, 18
 	}
 
-	metrics := map[string]float64{}
+	headline := map[string]float64{}
 	// figMetrics records the last point of every series of f under keys
 	// "<expt>.<series>@<x>" — the headline scaling numbers.
 	figMetrics := func(name string, f *stats.Figure) {
@@ -78,7 +90,7 @@ func main() {
 				continue
 			}
 			last := s.Points[len(s.Points)-1]
-			metrics[fmt.Sprintf("%s.%s@%g", name, s.Name, last.X)] = last.Y
+			headline[fmt.Sprintf("%s.%s@%g", name, s.Name, last.X)] = last.Y
 		}
 	}
 	showFig := func(name string, f *stats.Figure) {
@@ -161,20 +173,54 @@ func main() {
 		return false
 	}
 
+	if *traceOut != "" {
+		// Engines created inside the capture window attach recorders and
+		// contribute their events at Close; the merged export below is
+		// byte-identical at any -parallel setting.
+		trace.StartCapture()
+	}
+
+	// Every experiment runs inside its own metrics capture window: engines
+	// snapshot their registry (URPC, cache, interconnect, monitor, fault
+	// counters and histograms) at Close, and the per-experiment merge lands
+	// in the JSON output's "metrics" section.
+	exptMetrics := map[string]metrics.Snapshot{}
 	start := time.Now()
 	for _, ex := range experiments {
 		if !want(ex.name) {
 			continue
 		}
 		t0 := time.Now()
+		metrics.StartCapture()
 		ex.run()
-		metrics["wall_seconds."+ex.name] = round3(time.Since(t0).Seconds())
+		exptMetrics[ex.name] = metrics.TakeCapture()
+		headline["wall_seconds."+ex.name] = round3(time.Since(t0).Seconds())
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = trace.WriteCaptured(f)
+		}
+		trace.StopCapture()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mkbench: writing trace %s: %v\n", *traceOut, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceOut)
 	}
 
 	if *jsonOut != "" {
-		metrics["wall_seconds_total"] = round3(time.Since(start).Seconds())
-		metrics["parallel"] = float64(harness.Parallelism())
-		buf, err := json.MarshalIndent(metrics, "", "  ")
+		headline["wall_seconds_total"] = round3(time.Since(start).Seconds())
+		headline["parallel"] = float64(harness.Parallelism())
+		out := map[string]any{"metrics": exptMetrics}
+		for k, v := range headline {
+			out[k] = v
+		}
+		buf, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mkbench: encoding metrics: %v\n", err)
 			os.Exit(1)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mksim [-machine "4x4-core AMD"] [-trace]
+//	mksim [-machine "4x4-core AMD"] [-trace] [-trace-json out.json]
 package main
 
 import (
@@ -18,12 +18,14 @@ import (
 	"multikernel/internal/monitor"
 	"multikernel/internal/sim"
 	"multikernel/internal/topo"
+	"multikernel/internal/trace"
 	"multikernel/internal/vm"
 )
 
 func main() {
 	machine := flag.String("machine", "4x4-core AMD", "one of the paper's test platforms")
-	trace := flag.Bool("trace", false, "print simulation trace events")
+	dumpTrace := flag.Bool("trace", false, "print the structured event trace after the run")
+	traceJSON := flag.String("trace-json", "", "write the trace as Chrome trace-event JSON (open in Perfetto)")
 	flag.Parse()
 
 	m := topo.ByName(*machine)
@@ -36,10 +38,10 @@ func main() {
 	}
 
 	e := multikernel.NewEngine(1)
-	if *trace {
-		e.SetTrace(func(t sim.Time, who, msg string) {
-			fmt.Printf("%12d %-14s %s\n", t, who, msg)
-		})
+	var rec *trace.Recorder
+	if *dumpTrace || *traceJSON != "" {
+		rec = trace.NewRecorder()
+		e.SetTracer(rec)
 	}
 	sys := multikernel.Boot(e, m)
 	fmt.Printf("booted multikernel on %v\n", m)
@@ -91,5 +93,22 @@ func main() {
 		fmt.Printf("  monitor%-2d handled=%d initiated=%d commits=%d\n", c, st.Handled, st.Initiated, st.Commits)
 	}
 	fmt.Printf("interconnect traffic: %d dwords total\n", sys.Fabric.TotalDwords())
+	if *dumpTrace {
+		fmt.Printf("\nstructured trace (%d events):\n%s", rec.Len(), rec.TextDump())
+	}
+	if *traceJSON != "" {
+		f, err := os.Create(*traceJSON)
+		if err == nil {
+			err = trace.WriteJSON(f, rec)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *traceJSON, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (%d events)\n", *traceJSON, rec.Len())
+	}
 	e.Close()
 }

@@ -1,19 +1,32 @@
 // Command mktop prints the topology of each simulated test platform and the
 // NUMA-aware multicast trees the system knowledge base derives from it — the
 // routes behind Figure 6's best-performing shootdown protocol.
+//
+// With -metrics, it also boots a multikernel on each machine, drives a burst
+// of NUMA-aware coordinated unmaps through it, and renders the per-link
+// interconnect traffic from the engine's metrics registry as a utilization
+// heat table — showing how the multicast trees spread shootdown traffic over
+// the point-to-point fabric.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"sort"
+	"strings"
 
+	"multikernel"
+	"multikernel/internal/memory"
+	"multikernel/internal/monitor"
 	"multikernel/internal/sim"
 	"multikernel/internal/skb"
+	"multikernel/internal/stats"
 	"multikernel/internal/topo"
 )
 
 func main() {
 	src := flag.Int("source", 0, "multicast tree source core")
+	showMetrics := flag.Bool("metrics", false, "run an unmap workload and print per-link utilization heat")
 	flag.Parse()
 
 	for _, m := range topo.AllMachines() {
@@ -38,6 +51,68 @@ func main() {
 			}
 			fmt.Printf("    local children: %v\n", tree.Local)
 		}
+		if *showMetrics {
+			fmt.Print(linkHeat(m))
+		}
 		fmt.Println()
 	}
+}
+
+// linkHeat boots a multikernel on m, runs one coordinated unmap from every
+// socket's first core, and renders the per-link dword counters from the
+// metrics registry as a heat table.
+func linkHeat(m *topo.Machine) string {
+	const linkGBps = 8.0 // nominal HyperTransport-class point-to-point link
+
+	e := multikernel.NewEngine(1)
+	defer e.Close()
+	sys := multikernel.Boot(e, m)
+	e.Spawn("heat", func(p *sim.Proc) {
+		for s := 0; s < m.NSockets; s++ {
+			init := m.CoresOf(topo.SocketID(s))[0]
+			base := memory.Addr(0x100000 + uint64(s)*0x10000)
+			sys.Net.Monitor(init).Unmap(p, base, 4096, nil, monitor.NUMAAware)
+		}
+	})
+	e.Run()
+	elapsed := uint64(e.Now())
+
+	// One registry counter per link direction, named interconnect.link.A-B.dwords.
+	snap := e.Metrics().Snapshot()
+	type row struct {
+		name   string
+		dwords uint64
+		util   float64
+	}
+	var rows []row
+	var peak float64
+	for _, name := range snap.Names() {
+		if !strings.HasPrefix(name, "interconnect.link.") {
+			continue
+		}
+		link := strings.TrimSuffix(strings.TrimPrefix(name, "interconnect.link."), ".dwords")
+		var a, b topo.SocketID
+		if _, err := fmt.Sscanf(link, "%d-%d", &a, &b); err != nil {
+			continue
+		}
+		u := sys.Fabric.Utilization(a, b, elapsed, linkGBps)
+		rows = append(rows, row{link, snap.Counters[name], u})
+		if u > peak {
+			peak = u
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+
+	t := &stats.Table{
+		Title:   fmt.Sprintf("per-link traffic, %d NUMA-aware unmaps, %d cycles", m.NSockets, elapsed),
+		Columns: []string{"link", "dwords", "util", "heat"},
+	}
+	for _, r := range rows {
+		heat := ""
+		if peak > 0 {
+			heat = strings.Repeat("#", int(r.util/peak*20+0.5))
+		}
+		t.AddRow(r.name, fmt.Sprintf("%d", r.dwords), fmt.Sprintf("%.4f%%", r.util*100), heat)
+	}
+	return t.Render()
 }

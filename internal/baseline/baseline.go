@@ -17,8 +17,11 @@ import (
 	"multikernel/internal/cache"
 	"multikernel/internal/kernel"
 	"multikernel/internal/memory"
+	"multikernel/internal/metrics"
 	"multikernel/internal/sim"
+	"multikernel/internal/stats"
 	"multikernel/internal/topo"
+	"multikernel/internal/trace"
 )
 
 // Flavor selects the comparator kernel's tuning constants.
@@ -200,19 +203,27 @@ type RunQueue struct {
 	lock  memory.Addr
 	meta  memory.Addr // head/tail/len metadata line
 	tasks []int
+
+	mAcquires *metrics.Counter
+	mWait     *stats.Histogram
 }
 
 // NewRunQueue allocates a shared run queue homed on the given socket.
 func (k *Kernel) NewRunQueue(home topo.SocketID) *RunQueue {
 	mem := k.sys.Memory()
+	reg := k.eng.Metrics()
 	return &RunQueue{
-		k:    k,
-		lock: mem.AllocLines(1, home).Base,
-		meta: mem.AllocLines(1, home).Base,
+		k:         k,
+		lock:      mem.AllocLines(1, home).Base,
+		meta:      mem.AllocLines(1, home).Base,
+		mAcquires: reg.Counter("baseline.lock_acquires"),
+		mWait:     reg.Histogram("baseline.lock_wait_cycles"),
 	}
 }
 
 func (q *RunQueue) withLock(p *sim.Proc, core topo.CoreID, fn func()) {
+	t0 := p.Now()
+	contended := false
 	for {
 		acquired := false
 		q.k.sys.RMW(p, core, q.lock, func(v uint64) uint64 {
@@ -225,12 +236,24 @@ func (q *RunQueue) withLock(p *sim.Proc, core topo.CoreID, fn func()) {
 		if acquired {
 			break
 		}
+		contended = true
 		for q.k.sys.Load(p, core, q.lock) != 0 {
 			p.Sleep(30)
 		}
 	}
+	rec := q.k.eng.Tracer()
+	q.mAcquires.Inc()
+	q.mWait.Observe(uint64(p.Now() - t0))
+	if contended {
+		// Retroactive span: only contended acquisitions become lock.wait
+		// slices, so the uncontended fast path stays invisible in traces.
+		rec.Emit(uint64(t0), trace.Begin, trace.SubBaseline, int32(core), "lock.wait", 0, 0)
+		rec.Emit(uint64(p.Now()), trace.End, trace.SubBaseline, int32(core), "lock.wait", 0, 0)
+	}
+	rec.Emit(uint64(p.Now()), trace.Begin, trace.SubBaseline, int32(core), "lock.hold", 0, 0)
 	fn()
 	q.k.sys.Store(p, core, q.lock, 0)
+	rec.Emit(uint64(p.Now()), trace.End, trace.SubBaseline, int32(core), "lock.hold", 0, 0)
 }
 
 // Enqueue adds a task under the queue lock.

@@ -15,11 +15,14 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"multikernel/internal/interconnect"
 	"multikernel/internal/memory"
 	"multikernel/internal/sim"
+	"multikernel/internal/stats"
 	"multikernel/internal/topo"
+	"multikernel/internal/trace"
 )
 
 // maxCores bounds the holder bitmask width.
@@ -113,9 +116,15 @@ type System struct {
 	// Fault injection: stallUntil[c] != 0 means core c's cache controller
 	// stops answering coherence probes until that virtual time — fills served
 	// by c and invalidation probes to c wait out the remainder of the stall.
-	// anyStall keeps the fault-free fast path to one boolean test.
+	// anyStall keeps the fast path to one boolean test.
 	stallUntil []sim.Time
 	anyStall   bool
+
+	// Registry handles: fill latency and probe fan-out distributions. The
+	// per-core Stats counters above stay the source of truth for access
+	// counts; the registry samples their sums lazily at snapshot time.
+	fillHist   *stats.Histogram
+	fanoutHist *stats.Histogram
 }
 
 // maxInflightStores is the per-core store-miss MSHR budget.
@@ -137,7 +146,7 @@ func New(e *sim.Engine, m *topo.Machine, mem *memory.Memory, fab *interconnect.F
 	if m.NumCores() > maxCores {
 		panic(fmt.Sprintf("cache: machine has %d cores; model supports at most %d", m.NumCores(), maxCores))
 	}
-	return &System{
+	s := &System{
 		mach:     m,
 		mem:      mem,
 		fab:      fab,
@@ -147,7 +156,29 @@ func New(e *sim.Engine, m *topo.Machine, mem *memory.Memory, fab *interconnect.F
 		dirFree:  make([]sim.Time, m.NSockets),
 		inflight: make([]int, m.NumCores()),
 	}
+	reg := e.Metrics()
+	s.fillHist = reg.Histogram("cache.fill_cycles")
+	s.fanoutHist = reg.Histogram("cache.probe_fanout")
+	reg.CounterFunc("cache.hits", func() uint64 { return s.sumStats(func(st *Stats) uint64 { return st.Hits }) })
+	reg.CounterFunc("cache.misses", func() uint64 { return s.sumStats(func(st *Stats) uint64 { return st.Misses }) })
+	reg.CounterFunc("cache.remote_fills", func() uint64 { return s.sumStats(func(st *Stats) uint64 { return st.RemoteMisses }) })
+	reg.CounterFunc("cache.upgrades", func() uint64 { return s.sumStats(func(st *Stats) uint64 { return st.Upgrades }) })
+	reg.CounterFunc("cache.invalidations", func() uint64 { return s.sumStats(func(st *Stats) uint64 { return st.Invalidated }) })
+	fab.SetMetrics(reg)
+	return s
 }
+
+// sumStats folds one field across the per-core counters.
+func (s *System) sumStats(field func(*Stats) uint64) uint64 {
+	var total uint64
+	for i := range s.stats {
+		total += field(&s.stats[i])
+	}
+	return total
+}
+
+// Engine returns the simulation engine the system runs on.
+func (s *System) Engine() *sim.Engine { return s.eng }
 
 // SetCoreStall injects an owner-stall fault: core c's cache controller stops
 // responding to coherence traffic until the given virtual time. Extending an
@@ -168,7 +199,9 @@ func (s *System) coreStall(c topo.CoreID) sim.Time {
 		return 0
 	}
 	if u := s.stallUntil[c]; u > s.eng.Now() {
-		return u - s.eng.Now()
+		rem := u - s.eng.Now()
+		s.eng.Tracer().Emit(uint64(s.eng.Now()), trace.Instant, trace.SubCache, int32(c), "cache.owner_stall", 0, uint64(rem))
+		return rem
 	}
 	return 0
 }
@@ -282,7 +315,9 @@ func (s *System) chargeFill(dst topo.CoreID, srcSocket topo.SocketID) {
 func (s *System) fill(c topo.CoreID, a memory.Addr, l *line) sim.Time {
 	s.stats[c].Misses++
 	var lat sim.Time
+	src := "cache.fill_mem"
 	if l.owner >= 0 && l.owner != c {
+		src = "cache.fill_owner"
 		// Fetch from the owning cache; MOESI keeps the dirty copy in-cache
 		// (owner degrades M->O) rather than writing back. On a
 		// HyperTransport-style fabric the request is routed via the line's
@@ -296,6 +331,7 @@ func (s *System) fill(c topo.CoreID, a memory.Addr, l *line) sim.Time {
 		s.chargeFill(c, s.mach.Socket(l.owner))
 	} else if l.holders != 0 && !l.holds(c) {
 		// Shared copies exist but no owner: memory is current.
+		src = "cache.fill_shared"
 		home := s.mem.Home(a)
 		lat = s.mach.MemLat(c, home)
 		lat += s.linkPenalty(c, home, lat)
@@ -314,6 +350,8 @@ func (s *System) fill(c topo.CoreID, a memory.Addr, l *line) sim.Time {
 		l.owner = c
 		l.dirty = false
 	}
+	s.fillHist.Observe(uint64(lat))
+	s.eng.Tracer().Emit(uint64(s.eng.Now()), trace.Instant, trace.SubCache, int32(c), src, 0, uint64(lat))
 	return lat
 }
 
@@ -336,6 +374,9 @@ func (s *System) invalidateOthers(c topo.CoreID, a memory.Addr, l *line) sim.Tim
 		return 0
 	}
 	s.stats[c].Upgrades++
+	fanout := uint64(bits.OnesCount64(others))
+	s.fanoutHist.Observe(fanout)
+	s.eng.Tracer().Emit(uint64(s.eng.Now()), trace.Instant, trace.SubCache, int32(c), "cache.inval", 0, fanout)
 	for h := topo.CoreID(0); int(h) < s.mach.NumCores(); h++ {
 		if others&(1<<uint(h)) == 0 {
 			continue

@@ -1,10 +1,15 @@
 package expt
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
 	"testing"
 
 	"multikernel/internal/harness"
+	"multikernel/internal/metrics"
 	"multikernel/internal/stats"
+	"multikernel/internal/trace"
 )
 
 // TestParallelSweepDeterminism is the harness determinism contract: running
@@ -30,6 +35,62 @@ func TestParallelSweepDeterminism(t *testing.T) {
 	for _, par := range []int{2, 8} {
 		if got := render(par); got != serial {
 			t.Fatalf("parallelism %d produced different rendered output than serial run", par)
+		}
+	}
+}
+
+// TestTraceMetricsDeterminism extends the contract to the observability
+// layer: the exported Chrome-trace bytes and the merged metrics snapshot of a
+// sweep must be byte-identical at any host parallelism and for every fault
+// seed. Traces are full event streams, so this is a much sharper check than
+// comparing rendered figures — a single reordered or time-shifted event
+// anywhere in any engine changes the hash.
+func TestTraceMetricsDeterminism(t *testing.T) {
+	capture := func(par int, faultSeed uint64) (traceHash [32]byte, metricsJSON []byte, nEvents int) {
+		old := harness.Parallelism()
+		harness.SetParallelism(par)
+		defer harness.SetParallelism(old)
+
+		trace.StartCapture()
+		metrics.StartCapture()
+		stats.RenderFigure(Fig6(1), 72, 18)
+		FaultRecovery(faultSeed, 2)
+		var buf bytes.Buffer
+		if err := trace.WriteCaptured(&buf); err != nil {
+			t.Fatal(err)
+		}
+		trace.StopCapture()
+		snap := metrics.TakeCapture()
+		js, err := json.Marshal(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sha256.Sum256(buf.Bytes()), js, bytes.Count(buf.Bytes(), []byte("\n"))
+	}
+
+	for _, faultSeed := range []uint64{42, 1007} {
+		h1, m1, n1 := capture(1, faultSeed)
+		if n1 < 1000 {
+			t.Fatalf("seed %d: capture suspiciously small (%d lines); instrumentation not firing?", faultSeed, n1)
+		}
+		for _, par := range []int{2, 8} {
+			hp, mp, _ := capture(par, faultSeed)
+			if hp != h1 {
+				t.Errorf("seed %d: trace bytes differ between -parallel=1 and -parallel=%d", faultSeed, par)
+			}
+			if !bytes.Equal(mp, m1) {
+				t.Errorf("seed %d: metrics snapshot differs between -parallel=1 and -parallel=%d", faultSeed, par)
+			}
+		}
+		// The fault-free Fig6 points and the faulted recovery rounds share one
+		// capture, so timeouts must come only from injected faults: a second
+		// run of the fault-free figure alone must report zero.
+		trace.StopCapture()
+		metrics.StartCapture()
+		stats.RenderFigure(Fig6(1), 72, 18)
+		clean := metrics.TakeCapture()
+		if to, re := clean.Counters["urpc.timeouts"], clean.Counters["urpc.retries"]; to != 0 || re != 0 {
+			t.Errorf("fault-free sweep reported urpc.timeouts=%d urpc.retries=%d, want 0/0", to, re)
 		}
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"multikernel/internal/interconnect"
 	"multikernel/internal/sim"
 	"multikernel/internal/topo"
+	"multikernel/internal/trace"
 )
 
 // Kind enumerates fault types.
@@ -228,7 +229,9 @@ type Injector struct {
 
 // NewInjector returns an injector for the given engine and cache system.
 func NewInjector(e *sim.Engine, sys *cache.System) *Injector {
-	return &Injector{eng: e, sys: sys, killed: make(map[topo.CoreID]sim.Time)}
+	i := &Injector{eng: e, sys: sys, killed: make(map[topo.CoreID]sim.Time)}
+	e.Metrics().CounterFunc("fault.events_fired", func() uint64 { return uint64(i.fired) })
+	return i
 }
 
 // OnKill registers a hook invoked (in registration order, in engine-callback
@@ -258,6 +261,7 @@ func (i *Injector) fire(ev Event) {
 		if _, dead := i.killed[ev.Core]; dead {
 			return
 		}
+		i.eng.Tracer().Emit(uint64(i.eng.Now()), trace.Instant, trace.SubSim, int32(ev.Core), "fault.kill", 0, 0)
 		i.killed[ev.Core] = i.eng.Now()
 		for _, fn := range i.onKill {
 			fn(ev.Core)
@@ -265,13 +269,17 @@ func (i *Injector) fire(ev Event) {
 	case DegradeLink, PartitionLink:
 		fab := i.sys.Fabric()
 		d := interconnect.Degrade{DelayFactor: ev.Factor, LossProb: ev.Loss}
+		name := "fault.degrade"
 		if ev.Kind == PartitionLink {
 			d = interconnect.Degrade{LossProb: 1}
+			name = "fault.partition"
 		}
+		i.eng.Tracer().Emit(uint64(i.eng.Now()), trace.Instant, trace.SubSim, -1, name, uint64(ev.A)<<32|uint64(ev.B), uint64(ev.For))
 		fab.SetDegrade(ev.A, ev.B, d)
 		i.eng.After(ev.For, func() { fab.ClearDegrade(ev.A, ev.B) })
 	case StallCore:
 		if _, dead := i.killed[ev.Core]; !dead {
+			i.eng.Tracer().Emit(uint64(i.eng.Now()), trace.Instant, trace.SubSim, int32(ev.Core), "fault.stall", 0, uint64(ev.For))
 			i.sys.SetCoreStall(ev.Core, i.eng.Now()+ev.For)
 		}
 	}

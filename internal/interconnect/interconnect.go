@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 
+	"multikernel/internal/metrics"
 	"multikernel/internal/sim"
 	"multikernel/internal/topo"
 )
@@ -124,6 +125,22 @@ func (f *Fabric) TransferPenalty(a, b topo.SocketID, base sim.Time, rng *sim.RNG
 
 // Machine returns the machine this fabric belongs to.
 func (f *Fabric) Machine() *topo.Machine { return f.m }
+
+// SetMetrics registers the fabric's accumulated state with a registry as lazy
+// counters: totals, retransmits, and the dword count of each physical link in
+// both directions. Sampling happens only at snapshot time, so the charge path
+// stays untouched.
+func (f *Fabric) SetMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("interconnect.dwords_total", f.TotalDwords)
+	reg.CounterFunc("interconnect.retransmits", f.Retransmits)
+	for _, l := range f.m.Links {
+		a, b := l.A, l.B
+		reg.CounterFunc(fmt.Sprintf("interconnect.link.%d-%d.dwords", a, b),
+			func() uint64 { return f.LinkDwords(a, b) })
+		reg.CounterFunc(fmt.Sprintf("interconnect.link.%d-%d.dwords", b, a),
+			func() uint64 { return f.LinkDwords(b, a) })
+	}
+}
 
 // Reset zeroes all traffic counters.
 func (f *Fabric) Reset() { f.traffic = make(map[[2]topo.SocketID]uint64) }

@@ -1,0 +1,188 @@
+// Package metrics is the typed per-subsystem counter and histogram registry
+// of the simulator. One Registry belongs to one sim.Engine (the package does
+// not import internal/sim, so the engine can embed a Registry without an
+// import cycle), and everything an engine touches — URPC channels, the cache
+// system, the interconnect fabric, monitors, the fault injector — registers
+// its counters there under dotted names ("urpc.timeouts",
+// "interconnect.link.0-1.dwords").
+//
+// Accumulation convention: a Registry and its counters are engine-confined
+// state, exactly like the simulation models that update them. The engine
+// guarantees at most one proc (or engine callback) runs at a time with a
+// happens-before edge at every baton handoff, so counters use plain
+// non-atomic increments — race-free under -race, and free of hot-path atomic
+// traffic. The only cross-goroutine boundary is the global capture
+// collector, which engines call once at Close and which takes a lock.
+//
+// Two registration styles:
+//
+//   - Counter/Histogram hand out live handles for code that increments as it
+//     goes (URPC sends, cache fill latencies).
+//   - CounterFunc registers a sampling function evaluated only at Snapshot
+//     time — for state a subsystem already accumulates (fabric link traffic,
+//     per-monitor Stats structs, engine internals). Zero hot-path cost.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"multikernel/internal/stats"
+)
+
+// Counter is a monotonically increasing count. Engine-confined: see the
+// package accumulation convention.
+type Counter struct{ v uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Registry holds one engine's counters and histograms.
+type Registry struct {
+	counters map[string]*Counter
+	funcs    map[string]func() uint64
+	hists    map[string]*stats.Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		funcs:    make(map[string]func() uint64),
+		hists:    make(map[string]*stats.Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it if needed.
+// All callers asking for one name share one counter.
+func (r *Registry) Counter(name string) *Counter {
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// CounterFunc registers fn as a lazy counter sampled at Snapshot time,
+// replacing any previous function under the same name.
+func (r *Registry) CounterFunc(name string, fn func() uint64) {
+	r.funcs[name] = fn
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// needed.
+func (r *Registry) Histogram(name string) *stats.Histogram {
+	h := r.hists[name]
+	if h == nil {
+		h = &stats.Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of a registry, or a merge of several.
+// Maps marshal with sorted keys and histogram buckets are ordered slices, so
+// the JSON encoding is deterministic.
+type Snapshot struct {
+	Counters   map[string]uint64                 `json:"counters"`
+	Histograms map[string]stats.HistogramSummary `json:"histograms,omitempty"`
+}
+
+// Snapshot samples every counter (live and lazy) and histogram.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Counters: make(map[string]uint64, len(r.counters)+len(r.funcs))}
+	for name, c := range r.counters {
+		s.Counters[name] = c.v
+	}
+	for name, fn := range r.funcs {
+		s.Counters[name] = fn()
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]stats.HistogramSummary, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = h.Summary()
+		}
+	}
+	return s
+}
+
+// Merge folds o into s: counters sum, histograms merge bucket-wise. Merging
+// is commutative, so a parallel sweep folds to the same totals in any
+// completion order.
+func (s *Snapshot) Merge(o Snapshot) {
+	if s.Counters == nil {
+		s.Counters = make(map[string]uint64, len(o.Counters))
+	}
+	for name, v := range o.Counters {
+		s.Counters[name] += v
+	}
+	if len(o.Histograms) > 0 && s.Histograms == nil {
+		s.Histograms = make(map[string]stats.HistogramSummary, len(o.Histograms))
+	}
+	for name, h := range o.Histograms {
+		cur := s.Histograms[name]
+		cur.Merge(h)
+		s.Histograms[name] = cur
+	}
+}
+
+// Names returns the snapshot's counter names, sorted — the iteration helper
+// for renderers.
+func (s Snapshot) Names() []string {
+	out := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Global capture: merging per-engine snapshots from a parallel sweep.
+
+var (
+	captureOn atomic.Bool
+	captureMu sync.Mutex
+	captured  Snapshot
+)
+
+// StartCapture opens a capture window: engines snapshot their registry into
+// it when closed. Any previously captured totals are discarded.
+func StartCapture() {
+	captureMu.Lock()
+	captured = Snapshot{}
+	captureMu.Unlock()
+	captureOn.Store(true)
+}
+
+// Capturing reports whether a capture window is open.
+func Capturing() bool { return captureOn.Load() }
+
+// Contribute merges snap into the open capture window. Safe to call from
+// concurrent harness workers; a closed window ignores the contribution.
+func Contribute(snap Snapshot) {
+	if !captureOn.Load() {
+		return
+	}
+	captureMu.Lock()
+	captured.Merge(snap)
+	captureMu.Unlock()
+}
+
+// TakeCapture closes the capture window and returns the merged totals.
+func TakeCapture() Snapshot {
+	captureOn.Store(false)
+	captureMu.Lock()
+	out := captured
+	captured = Snapshot{}
+	captureMu.Unlock()
+	return out
+}

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestCounterHandlesShared(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("urpc.sent")
+	b := r.Counter("urpc.sent")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	a.Inc()
+	b.Add(4)
+	if got := r.Snapshot().Counters["urpc.sent"]; got != 5 {
+		t.Fatalf("snapshot=%d, want 5", got)
+	}
+}
+
+func TestCounterFuncSampledLazily(t *testing.T) {
+	r := NewRegistry()
+	v := uint64(0)
+	r.CounterFunc("sim.events", func() uint64 { return v })
+	v = 42
+	if got := r.Snapshot().Counters["sim.events"]; got != 42 {
+		t.Fatalf("lazy counter sampled %d, want 42", got)
+	}
+	v = 99
+	if got := r.Snapshot().Counters["sim.events"]; got != 99 {
+		t.Fatalf("resample got %d, want 99", got)
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("cache.fill_cycles")
+	if r.Histogram("cache.fill_cycles") != h {
+		t.Fatal("same name returned distinct histograms")
+	}
+	h.Observe(100)
+	h.Observe(200)
+	s := r.Snapshot()
+	hs, ok := s.Histograms["cache.fill_cycles"]
+	if !ok || hs.N != 2 || hs.Sum != 300 || hs.Max != 200 {
+		t.Fatalf("histogram summary wrong: %+v", hs)
+	}
+}
+
+func TestSnapshotMergeCommutative(t *testing.T) {
+	mk := func(sent, to uint64, lats ...uint64) Snapshot {
+		r := NewRegistry()
+		r.Counter("urpc.sent").Add(sent)
+		r.Counter("urpc.timeouts").Add(to)
+		h := r.Histogram("lat")
+		for _, l := range lats {
+			h.Observe(l)
+		}
+		return r.Snapshot()
+	}
+	a1, b1 := mk(3, 1, 10, 5000), mk(7, 0, 80)
+	a2, b2 := mk(3, 1, 10, 5000), mk(7, 0, 80)
+	a1.Merge(b1)
+	b2.Merge(a2)
+	ja, _ := json.Marshal(a1)
+	jb, _ := json.Marshal(b2)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("merge not commutative:\n%s\n%s", ja, jb)
+	}
+	if a1.Counters["urpc.sent"] != 10 || a1.Counters["urpc.timeouts"] != 1 {
+		t.Fatalf("merged counters wrong: %v", a1.Counters)
+	}
+	if h := a1.Histograms["lat"]; h.N != 3 || h.Sum != 5090 {
+		t.Fatalf("merged histogram wrong: %+v", h)
+	}
+}
+
+func TestSnapshotNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last")
+	r.Counter("a.first")
+	r.Counter("m.mid")
+	names := r.Snapshot().Names()
+	if len(names) != 3 || names[0] != "a.first" || names[1] != "m.mid" || names[2] != "z.last" {
+		t.Fatalf("Names() = %v", names)
+	}
+}
+
+func TestCaptureMergesContributions(t *testing.T) {
+	StartCapture()
+	if !Capturing() {
+		t.Fatal("capture window not open")
+	}
+	r1 := NewRegistry()
+	r1.Counter("x").Add(2)
+	r2 := NewRegistry()
+	r2.Counter("x").Add(3)
+	Contribute(r1.Snapshot())
+	Contribute(r2.Snapshot())
+	got := TakeCapture()
+	if Capturing() {
+		t.Fatal("capture window still open after TakeCapture")
+	}
+	if got.Counters["x"] != 5 {
+		t.Fatalf("captured x=%d, want 5", got.Counters["x"])
+	}
+	// A contribution after the window closed is dropped.
+	Contribute(r1.Snapshot())
+	if again := TakeCapture(); len(again.Counters) != 0 {
+		t.Fatalf("closed-window contribution leaked: %v", again.Counters)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"multikernel/internal/memory"
 	"multikernel/internal/sim"
 	"multikernel/internal/skb"
+	"multikernel/internal/stats"
 	"multikernel/internal/topo"
 	"multikernel/internal/urpc"
 )
@@ -96,6 +97,10 @@ type Network struct {
 
 	monitors []*Monitor
 	failed   []bool // ground truth of fail-stopped cores (set by FailStop)
+
+	// opHist is the end-to-end latency distribution of coordinated
+	// operations, observed at every initiator-side completion.
+	opHist *stats.Histogram
 }
 
 // localReq is a request handed to a monitor by a process on its core.
@@ -118,6 +123,7 @@ type opState struct {
 	phase      int      // 1 = prepare/shootdown, 2 = decision
 	deadline   sim.Time // phase deadline; 0 = none (fault tolerance off)
 	recoveries int      // recovery rounds already spent on this operation
+	started    sim.Time // initiation time, for the op-latency histogram/span
 }
 
 // fwdState tracks a message an aggregation node forwarded to its children.
@@ -185,6 +191,26 @@ func NewNetwork(e *sim.Engine, sys *cache.System, kern *kernel.System, kb *skb.K
 	n := &Network{Eng: e, Sys: sys, Kern: kern, KB: kb, Hooks: hooks}
 	m := sys.Machine()
 	n.failed = make([]bool, m.NumCores())
+	reg := e.Metrics()
+	n.opHist = reg.Histogram("monitor.op_cycles")
+	sum := func(field func(*Stats) uint64) func() uint64 {
+		return func() uint64 {
+			var total uint64
+			for _, mon := range n.monitors {
+				total += field(&mon.stats)
+			}
+			return total
+		}
+	}
+	reg.CounterFunc("monitor.handled", sum(func(s *Stats) uint64 { return s.Handled }))
+	reg.CounterFunc("monitor.initiated", sum(func(s *Stats) uint64 { return s.Initiated }))
+	reg.CounterFunc("monitor.commits", sum(func(s *Stats) uint64 { return s.Commits }))
+	reg.CounterFunc("monitor.aborts", sum(func(s *Stats) uint64 { return s.Aborts }))
+	reg.CounterFunc("monitor.wakeups", sum(func(s *Stats) uint64 { return s.Wakeups }))
+	reg.CounterFunc("monitor.excised", sum(func(s *Stats) uint64 { return s.Excised }))
+	reg.CounterFunc("monitor.recoveries", sum(func(s *Stats) uint64 { return s.Recoveries }))
+	reg.CounterFunc("monitor.strays", sum(func(s *Stats) uint64 { return s.Strays }))
+	reg.CounterFunc("monitor.dropped", sum(func(s *Stats) uint64 { return s.Dropped }))
 	for c := 0; c < m.NumCores(); c++ {
 		view := make([]bool, m.NumCores())
 		for i := range view {
@@ -324,8 +350,9 @@ func (m *Monitor) dispatch(p *sim.Proc, src topo.CoreID, raw urpc.Message) {
 		m.handleShootdown(p, src, op, aux, kind == MsgShootdownFwd)
 	case MsgShootdownAck:
 		m.handleAck(p, src, op, func(st *opState) {
-			st.req.fut.Complete(true)
 			m.stats.Commits++
+			m.opEnd(p, op, st.started, true)
+			st.req.fut.Complete(true)
 		})
 	case MsgPrepare, MsgPrepareFwd:
 		m.handlePrepare(p, src, op, aux, kind == MsgPrepareFwd)
@@ -340,11 +367,17 @@ func (m *Monitor) dispatch(p *sim.Proc, src topo.CoreID, raw urpc.Message) {
 	case MsgCapSend:
 		m.handleCapSend(p, src, op, aux)
 	case MsgCapAck:
-		m.handleAck(p, src, op, func(st *opState) { st.req.fut.Complete(aux == 1) })
+		m.handleAck(p, src, op, func(st *opState) {
+			m.opEnd(p, op, st.started, aux == 1)
+			st.req.fut.Complete(aux == 1)
+		})
 	case MsgPing:
 		m.send(p, op.Origin, wire(MsgPong, op, 0))
 	case MsgPong:
-		m.handleAck(p, src, op, func(st *opState) { st.req.fut.Complete(true) })
+		m.handleAck(p, src, op, func(st *opState) {
+			m.opEnd(p, op, st.started, true)
+			st.req.fut.Complete(true)
+		})
 	default:
 		panic(fmt.Sprintf("monitor%d: unknown message %v from %d", m.Core, kind, src))
 	}
@@ -383,6 +416,7 @@ func (m *Monitor) handleFwdAck(p *sim.Proc, src topo.CoreID, op Op) {
 	delete(fw.pending, src)
 	if len(fw.pending) == 0 {
 		delete(m.fwd, op.ID)
+		m.fwdEnd(p, op, fw.allYes)
 		aux := uint64(1)
 		if fw.ackKind == MsgVote {
 			aux = 0

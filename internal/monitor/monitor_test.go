@@ -52,14 +52,11 @@ func newFixture(t *testing.T, m *topo.Machine) *fixture {
 	})
 	t.Cleanup(f.e.Close)
 	// Fault-free runs must never exercise the deadline machinery: no URPC
-	// timeout or backed-off retry on any inter-monitor channel.
+	// timeout or backed-off retry anywhere in the engine's registry.
 	t.Cleanup(func() {
-		for _, mon := range f.net.monitors {
-			for to, ch := range mon.out {
-				if st := ch.Stats(); st.Timeouts != 0 || st.Retries != 0 {
-					t.Errorf("fault-free run: channel %d->%d saw timeouts=%d retries=%d", mon.Core, to, st.Timeouts, st.Retries)
-				}
-			}
+		snap := f.e.Metrics().Snapshot()
+		if to, re := snap.Counters["urpc.timeouts"], snap.Counters["urpc.retries"]; to != 0 || re != 0 {
+			t.Errorf("fault-free run: urpc.timeouts=%d urpc.retries=%d, want 0/0", to, re)
 		}
 	})
 	return f

@@ -8,7 +8,75 @@ import (
 	"multikernel/internal/sim"
 	"multikernel/internal/skb"
 	"multikernel/internal/topo"
+	"multikernel/internal/trace"
 )
+
+// ---------------------------------------------------------------------------
+// Trace spans
+//
+// Coordinated operations overlap freely (pipelined retypes, concurrent
+// recovery rounds), so they render as async spans keyed by operation ID
+// rather than stack-nested Begin/End pairs. Aggregation-node forwarding gets
+// its own span under a distinct id namespace (fwdIDBit | aggregator core), so
+// a multicast shootdown shows as an initiator span with one child span per
+// aggregation node.
+
+// fwdIDBit separates forwarding-span ids from initiator-span ids.
+const fwdIDBit = uint64(1) << 63
+
+// opName returns the static span name of an operation kind.
+func opName(k OpKind) string {
+	switch k {
+	case OpUnmap:
+		return "monitor.unmap"
+	case OpRetype:
+		return "monitor.retype"
+	case OpRevoke:
+		return "monitor.revoke"
+	case OpCoreDown:
+		return "monitor.coredown"
+	case OpCoreUp:
+		return "monitor.coreup"
+	}
+	return "monitor.ping"
+}
+
+// opBegin opens the initiator-side span of a coordinated operation and
+// returns its start time.
+func (m *Monitor) opBegin(p *sim.Proc, op Op) sim.Time {
+	m.net.Eng.Tracer().Emit(uint64(p.Now()), trace.AsyncBegin, trace.SubMonitor, int32(m.Core), opName(op.Kind), op.ID, 0)
+	return p.Now()
+}
+
+// opEnd closes the initiator-side span (arg 1 = success) and feeds the
+// operation's end-to-end latency into the registry histogram.
+func (m *Monitor) opEnd(p *sim.Proc, op Op, started sim.Time, ok bool) {
+	m.net.opHist.Observe(uint64(p.Now() - started))
+	var arg uint64
+	if ok {
+		arg = 1
+	}
+	m.net.Eng.Tracer().Emit(uint64(p.Now()), trace.AsyncEnd, trace.SubMonitor, int32(m.Core), opName(op.Kind), op.ID, arg)
+}
+
+// fwdID is the span id of this aggregation node's forwarding of op.
+func (m *Monitor) fwdID(op Op) uint64 {
+	return fwdIDBit | uint64(m.Core)<<48 | op.ID&(1<<48-1)
+}
+
+// fwdBegin opens an aggregation-node forwarding span.
+func (m *Monitor) fwdBegin(p *sim.Proc, op Op) {
+	m.net.Eng.Tracer().Emit(uint64(p.Now()), trace.AsyncBegin, trace.SubMonitor, int32(m.Core), "monitor.fwd", m.fwdID(op), 0)
+}
+
+// fwdEnd closes it (arg 1 = all children answered yes).
+func (m *Monitor) fwdEnd(p *sim.Proc, op Op, allYes bool) {
+	var arg uint64
+	if allYes {
+		arg = 1
+	}
+	m.net.Eng.Tracer().Emit(uint64(p.Now()), trace.AsyncEnd, trace.SubMonitor, int32(m.Core), "monitor.fwd", m.fwdID(op), arg)
+}
 
 // aux-word layout for dissemination messages: low 16 bits carry the child
 // mask (relative to the receiver's socket base core), bit 16 carries the
@@ -118,14 +186,15 @@ func (m *Monitor) nextOpID() uint64 {
 func (m *Monitor) startOp(p *sim.Proc, req *localReq) {
 	m.stats.Initiated++
 	op := req.op
+	started := m.opBegin(p, op)
 	switch op.Kind {
 	case OpUnmap, OpCoreDown, OpCoreUp:
-		m.startShootdown(p, req)
+		m.startShootdown(p, req, started)
 	case OpRetype, OpRevoke:
-		m.start2PC(p, req)
+		m.start2PC(p, req, started)
 	case OpNone:
 		// Ping or capability transfer: single round trip to the target.
-		m.ops[op.ID] = &opState{req: req, pending: corePending(req.targets[:1]), deadline: m.opDeadline(p, 0)}
+		m.ops[op.ID] = &opState{req: req, started: started, pending: corePending(req.targets[:1]), deadline: m.opDeadline(p, 0)}
 		if req.isCap {
 			m.send(p, req.targets[0], wire(MsgCapSend, op, req.capRights))
 		} else {
@@ -136,7 +205,7 @@ func (m *Monitor) startOp(p *sim.Proc, req *localReq) {
 	}
 }
 
-func (m *Monitor) startShootdown(p *sim.Proc, req *localReq) {
+func (m *Monitor) startShootdown(p *sim.Proc, req *localReq, started sim.Time) {
 	// Plan from the pre-operation view (a membership change must still reach
 	// the core it removes), then apply locally (§5.1: the origin
 	// participates too).
@@ -144,20 +213,22 @@ func (m *Monitor) startShootdown(p *sim.Proc, req *localReq) {
 	m.invalidateLocal(p, req.op)
 	if len(plan) == 0 {
 		m.stats.Commits++
+		m.opEnd(p, req.op, started, true)
 		req.fut.Complete(true)
 		return
 	}
-	m.ops[req.op.ID] = &opState{req: req, plan: plan, pending: planPending(plan), phase: 1, deadline: m.opDeadline(p, 0)}
+	m.ops[req.op.ID] = &opState{req: req, started: started, plan: plan, pending: planPending(plan), phase: 1, deadline: m.opDeadline(p, 0)}
 	for _, s := range plan {
 		m.send(p, s.to, wire(MsgShootdown, req.op, s.mask))
 	}
 }
 
-func (m *Monitor) start2PC(p *sim.Proc, req *localReq) {
+func (m *Monitor) start2PC(p *sim.Proc, req *localReq, started sim.Time) {
 	op := req.op
 	if !m.tryLock(op) || !m.prepareLocal(p, op) {
 		m.unlock(op.ID)
 		m.stats.Aborts++
+		m.opEnd(p, op, started, false)
 		req.fut.Complete(false)
 		return
 	}
@@ -166,10 +237,11 @@ func (m *Monitor) start2PC(p *sim.Proc, req *localReq) {
 		m.applyLocal(p, op)
 		m.unlock(op.ID)
 		m.stats.Commits++
+		m.opEnd(p, op, started, true)
 		req.fut.Complete(true)
 		return
 	}
-	st := &opState{req: req, pending: planPending(plan), phase: 1, allYes: true, deadline: m.opDeadline(p, 0)}
+	st := &opState{req: req, started: started, pending: planPending(plan), phase: 1, allYes: true, deadline: m.opDeadline(p, 0)}
 	st.plan = plan
 	m.ops[op.ID] = st
 	for _, s := range plan {
@@ -196,6 +268,7 @@ func (m *Monitor) handleShootdown(p *sim.Proc, src topo.CoreID, op Op, aux uint6
 	children := m.expandMask(aux & (auxCommit - 1))
 	if len(children) > 0 && !isFwd {
 		m.fwd[op.ID] = &fwdState{parent: src, op: op, pending: corePending(children), ackKind: MsgShootdownAck, deadline: m.fwdDeadline(p)}
+		m.fwdBegin(p, op)
 		for _, c := range children {
 			m.send(p, c, wire(MsgShootdownFwd, op, 0))
 		}
@@ -228,6 +301,7 @@ func (m *Monitor) handlePrepare(p *sim.Proc, src topo.CoreID, op Op, aux uint64,
 	children := m.expandMask(aux & (auxCommit - 1))
 	if len(children) > 0 && !isFwd {
 		m.fwd[op.ID] = &fwdState{parent: src, op: op, pending: corePending(children), allYes: ok, ackKind: MsgVote, deadline: m.fwdDeadline(p)}
+		m.fwdBegin(p, op)
 		for _, c := range children {
 			m.send(p, c, wire(MsgPrepareFwd, op, 0))
 		}
@@ -252,6 +326,11 @@ func (m *Monitor) handleVote(p *sim.Proc, src topo.CoreID, op Op, aux uint64) {
 		// Phase 1 complete: decide and disseminate.
 		st.decision = st.allYes
 		st.phase = 2
+		var arg uint64
+		if st.decision {
+			arg = 1
+		}
+		m.net.Eng.Tracer().Emit(uint64(p.Now()), trace.Instant, trace.SubMonitor, int32(m.Core), "monitor.decide", op.ID, arg)
 		st.pending = planPending(st.plan)
 		st.deadline = m.opDeadline(p, st.recoveries)
 		for _, s := range st.plan {
@@ -278,6 +357,7 @@ func (m *Monitor) handleVote(p *sim.Proc, src topo.CoreID, op Op, aux uint64) {
 	delete(fw.pending, src)
 	if len(fw.pending) == 0 {
 		delete(m.fwd, op.ID)
+		m.fwdEnd(p, op, fw.allYes)
 		v := uint64(0)
 		if fw.allYes {
 			v = 1
@@ -295,6 +375,7 @@ func (m *Monitor) handleDecision(p *sim.Proc, src topo.CoreID, op Op, aux uint64
 	children := m.expandMask(aux & (auxCommit - 1))
 	if len(children) > 0 && !isFwd {
 		m.fwd[op.ID] = &fwdState{parent: src, op: op, pending: corePending(children), ackKind: MsgDecisionAck, deadline: m.fwdDeadline(p)}
+		m.fwdBegin(p, op)
 		for _, c := range children {
 			m.send(p, c, wire(MsgDecisionFwd, op, aux&auxCommit))
 		}
@@ -312,6 +393,7 @@ func (m *Monitor) finish2PC(p *sim.Proc, st *opState) {
 		m.stats.Aborts++
 	}
 	m.unlock(op.ID)
+	m.opEnd(p, op, st.started, st.decision)
 	st.req.fut.Complete(st.decision)
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"multikernel/internal/sim"
 	"multikernel/internal/topo"
+	"multikernel/internal/trace"
 )
 
 // This file makes the agreement protocols survive fail-stop cores. The
@@ -131,6 +132,7 @@ func (m *Monitor) excise(p *sim.Proc, suspects []topo.CoreID) {
 		m.view[s] = false
 		m.out[s].MarkDead()
 		m.stats.Excised++
+		m.net.Eng.Tracer().Emit(uint64(p.Now()), trace.Instant, trace.SubMonitor, int32(m.Core), "monitor.excise", 0, uint64(s))
 		op := Op{Kind: OpCoreDown, ID: m.nextOpID(), Origin: m.Core, Bytes: uint64(s)}
 		m.local.Push(&localReq{op: op, protocol: NUMAAware, fut: sim.NewFuture[bool](m.net.Eng)})
 	}
@@ -142,6 +144,7 @@ func (m *Monitor) excise(p *sim.Proc, suspects []topo.CoreID) {
 // (ping, capability transfer) cannot be re-planned and fail immediately.
 func (m *Monitor) recoverOp(p *sim.Proc, id uint64, st *opState) {
 	m.stats.Recoveries++
+	m.net.Eng.Tracer().Emit(uint64(p.Now()), trace.Instant, trace.SubMonitor, int32(m.Core), "monitor.recover_op", id, uint64(st.recoveries+1))
 	m.excise(p, sortedCores(st.pending))
 	st.recoveries++
 	if st.recoveries > maxRecoveries {
@@ -152,6 +155,7 @@ func (m *Monitor) recoverOp(p *sim.Proc, id uint64, st *opState) {
 	op := st.req.op
 	if op.Kind == OpNone {
 		delete(m.ops, id)
+		m.opEnd(p, op, st.started, false)
 		st.req.fut.Complete(false)
 		return
 	}
@@ -197,6 +201,7 @@ func (m *Monitor) completeEmptyPhase(p *sim.Proc, st *opState) {
 		m.finish2PC(p, st)
 	default:
 		m.stats.Commits++
+		m.opEnd(p, st.req.op, st.started, true)
 		st.req.fut.Complete(true)
 	}
 }
@@ -209,6 +214,7 @@ func (m *Monitor) failOp(p *sim.Proc, st *opState) {
 		return
 	}
 	m.stats.Aborts++
+	m.opEnd(p, st.req.op, st.started, false)
 	st.req.fut.Complete(false)
 }
 
@@ -218,8 +224,10 @@ func (m *Monitor) failOp(p *sim.Proc, st *opState) {
 // blocks an ack nor turns a vote into an abort.
 func (m *Monitor) recoverFwd(p *sim.Proc, id uint64, fw *fwdState) {
 	m.stats.Recoveries++
+	m.net.Eng.Tracer().Emit(uint64(p.Now()), trace.Instant, trace.SubMonitor, int32(m.Core), "monitor.recover_fwd", id, 0)
 	m.excise(p, sortedCores(fw.pending))
 	delete(m.fwd, id)
+	m.fwdEnd(p, fw.op, fw.allYes)
 	aux := uint64(1)
 	if fw.ackKind == MsgVote {
 		aux = 0

@@ -1,6 +1,10 @@
 package sim
 
-import "testing"
+import (
+	"testing"
+
+	"multikernel/internal/trace"
+)
 
 // BenchmarkScheduleDispatch measures the engine-context fast path: schedule
 // an After callback and dispatch it, with no proc handoff. Steady state must
@@ -95,4 +99,62 @@ func BenchmarkParkUnpark(b *testing.B) {
 	stop = true
 	e.Run()
 	e.Close()
+}
+
+// benchWakeLoop is the ParkUnpark workload parameterized by tracer: it drives
+// the instrumented paths (Wake emits a sim.wake instant when tracing), so the
+// TraceOff/TraceOn pair below measures exactly the overhead the trace layer's
+// disabled contract promises to keep under 2%.
+func benchWakeLoop(b *testing.B, rec *trace.Recorder) {
+	e := NewEngine(1)
+	e.SetTracer(rec)
+	stop := false
+	var pong *Proc
+	e.Spawn("ping", func(p *Proc) {
+		for !stop {
+			p.Sleep(1)
+			p.Unpark(pong)
+		}
+	})
+	pong = e.Spawn("pong", func(p *Proc) {
+		p.SetDaemon(true)
+		for {
+			p.Park()
+		}
+	})
+	e.RunUntil(e.Now() + 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunUntil(e.Now() + 1)
+	}
+	b.StopTimer()
+	stop = true
+	e.Run()
+	e.Close()
+}
+
+// BenchmarkTraceOffWake is the tracing-disabled baseline guarded by CI
+// (ci/traceguard): a regression here means the nil-recorder fast path grew.
+func BenchmarkTraceOffWake(b *testing.B) { benchWakeLoop(b, nil) }
+
+// BenchmarkTraceOnWake is the same workload with a ring recorder attached,
+// for judging the enabled-path cost (not guarded; tracing on may cost more).
+func BenchmarkTraceOnWake(b *testing.B) { benchWakeLoop(b, trace.NewRing(1 << 16)) }
+
+// BenchmarkTraceOffDispatch is the engine-context schedule+dispatch fast path
+// with tracing disabled — the second CI-guarded baseline, covering the
+// dispatched/maxHeap counter bookkeeping added to the hot loop.
+func BenchmarkTraceOffDispatch(b *testing.B) {
+	e := NewEngine(1)
+	n := 0
+	fn := func() { n++ }
+	e.After(1, fn)
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(1, fn)
+		e.Run()
+	}
 }

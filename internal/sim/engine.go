@@ -29,6 +29,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"multikernel/internal/metrics"
+	"multikernel/internal/trace"
 )
 
 // Time is a point in virtual time, measured in cycles.
@@ -119,20 +122,43 @@ type Engine struct {
 	driver  chan struct{} // returns the baton to the Run/Close caller
 	limit   Time          // dispatch boundary (RunUntil), or ^Time(0)
 	rng     *RNG
-	trace   func(t Time, who, msg string)
 	stopped bool
 	closing bool
 	nextID  int
+
+	// Telemetry. rec is nil unless tracing is on (the tracing-off fast path
+	// is the nil check inside trace.Recorder methods); met always exists.
+	// The engine's own hot-path counters are plain fields bumped inline and
+	// sampled lazily through CounterFunc, so the dispatch loop never touches
+	// the registry.
+	rec         *trace.Recorder
+	met         *metrics.Registry
+	serial      uint64 // Serial() allocator (channel ids, flow correlation)
+	maxHeap     int    // high-water mark of the event heap
+	wakes       uint64 // proc wakeups delivered via Wake/Unpark
+	contributed bool   // telemetry already handed to the global collectors
 }
 
 // NewEngine returns an engine with its clock at zero and the given RNG seed.
 func NewEngine(seed uint64) *Engine {
-	return &Engine{
+	e := &Engine{
 		procs:  make(map[*Proc]struct{}),
 		driver: make(chan struct{}, 1),
 		limit:  ^Time(0),
 		rng:    NewRNG(seed),
+		met:    metrics.NewRegistry(),
 	}
+	// Dispatched is derived, not counted: every event ever scheduled (seq)
+	// is either still in the heap or has been popped by the dispatch loop —
+	// there is no cancellation path — so the loop itself stays untouched.
+	e.met.CounterFunc("sim.events_dispatched", func() uint64 { return e.seq - uint64(len(e.events)) })
+	e.met.CounterFunc("sim.heap_max_depth", func() uint64 { return uint64(e.maxHeap) })
+	e.met.CounterFunc("sim.proc_wakes", func() uint64 { return e.wakes })
+	e.met.CounterFunc("sim.procs_spawned", func() uint64 { return uint64(e.nextID) })
+	if trace.Capturing() {
+		e.rec = trace.NewRecorder()
+	}
+	return e
 }
 
 // Now returns the current virtual time.
@@ -141,9 +167,22 @@ func (e *Engine) Now() Time { return e.now }
 // RNG returns the engine's deterministic random number generator.
 func (e *Engine) RNG() *RNG { return e.rng }
 
-// SetTrace installs a trace hook invoked by Proc.Tracef. A nil hook disables
-// tracing.
-func (e *Engine) SetTrace(fn func(t Time, who, msg string)) { e.trace = fn }
+// Tracer returns the engine's trace recorder — nil when tracing is off,
+// which trace.Recorder methods accept as the disabled fast path, so call
+// sites emit unconditionally: e.Tracer().Emit(...).
+func (e *Engine) Tracer() *trace.Recorder { return e.rec }
+
+// SetTracer installs (or, with nil, removes) the trace recorder.
+func (e *Engine) SetTracer(r *trace.Recorder) { e.rec = r }
+
+// Metrics returns the engine's counter/histogram registry.
+func (e *Engine) Metrics() *metrics.Registry { return e.met }
+
+// Serial mints an engine-unique id (URPC channel ids, flow correlation).
+func (e *Engine) Serial() uint64 {
+	e.serial++
+	return e.serial
+}
 
 // newEvent takes an event from the free list, or allocates one.
 func (e *Engine) newEvent() *event {
@@ -166,6 +205,9 @@ func (e *Engine) schedule(d Time, p *Proc, fn func()) {
 	ev := e.newEvent()
 	ev.at, ev.seq, ev.p, ev.fn = e.now+d, e.seq, p, fn
 	e.events.push(ev)
+	if n := len(e.events); n > e.maxHeap {
+		e.maxHeap = n
+	}
 }
 
 // After invokes fn at the current time plus d. fn runs in engine context and
@@ -315,6 +357,23 @@ func (e *Engine) Close() {
 		v.killed = true
 		v.resume <- struct{}{}
 		<-e.driver
+	}
+	e.flushTelemetry()
+}
+
+// flushTelemetry hands the engine's trace and final metrics to the global
+// capture collectors (no-ops when no capture window is open). Runs once, at
+// the end of Close, so the contribution covers the whole run.
+func (e *Engine) flushTelemetry() {
+	if e.contributed {
+		return
+	}
+	e.contributed = true
+	if trace.Capturing() {
+		trace.Contribute(e.rec)
+	}
+	if metrics.Capturing() {
+		metrics.Contribute(e.met.Snapshot())
 	}
 }
 

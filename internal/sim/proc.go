@@ -2,7 +2,8 @@ package sim
 
 import (
 	"errors"
-	"fmt"
+
+	"multikernel/internal/trace"
 )
 
 // errKilled is panicked inside a proc goroutine when the engine shuts it
@@ -111,15 +112,10 @@ func (e *Engine) Wake(target *Proc) {
 	}
 	if target.waiting {
 		target.waiting = false
+		e.wakes++
+		e.rec.Emit(uint64(e.now), trace.Instant, trace.SubSim, -1, "sim.wake", 0, uint64(target.id))
 		e.schedule(0, target, nil)
 		return
 	}
 	target.token = true
-}
-
-// Tracef emits a trace record through the engine's trace hook, if installed.
-func (p *Proc) Tracef(format string, args ...any) {
-	if p.e.trace != nil {
-		p.e.trace(p.e.now, p.name, fmt.Sprintf(format, args...))
-	}
 }

@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// histBuckets is the fixed bucket count of Histogram: bucket b holds values
+// of bit length b (i.e. in [2^(b-1), 2^b-1]), so 48 buckets cover any
+// realistic cycle latency with no per-observation allocation or rescaling.
+const histBuckets = 48
+
+// Histogram is a fixed-bucket log2 histogram of cycle latencies. Observe is
+// a few array/scalar updates — cheap enough for coherence-miss and
+// message-latency hot paths — and two histograms merge bucket-by-bucket, so
+// parallel experiment runs fold deterministically.
+type Histogram struct {
+	counts [histBuckets]uint64
+	n      uint64
+	sum    uint64
+	max    uint64
+}
+
+// bucketOf returns the bucket index of v (its bit length, clamped).
+func bucketOf(v uint64) int {
+	b := bits.Len64(v)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketLe returns the inclusive upper bound of bucket b.
+func bucketLe(b int) uint64 {
+	if b == 0 {
+		return 0
+	}
+	return 1<<uint(b) - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.counts[bucketOf(v)]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Max returns the largest observation.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the arithmetic mean, or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Merge folds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// HistBucket is one non-empty bucket of a summary: Count observations were
+// ≤ Le (and greater than the previous bucket's Le).
+type HistBucket struct {
+	Le    uint64 `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSummary is the JSON-stable snapshot of a Histogram. Buckets is an
+// ordered slice (not a map) so encoded output is deterministic.
+type HistogramSummary struct {
+	N       uint64       `json:"n"`
+	Sum     uint64       `json:"sum"`
+	Max     uint64       `json:"max"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Summary snapshots the histogram.
+func (h *Histogram) Summary() HistogramSummary {
+	s := HistogramSummary{N: h.n, Sum: h.sum, Max: h.max}
+	for b, c := range h.counts {
+		if c > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{Le: bucketLe(b), Count: c})
+		}
+	}
+	return s
+}
+
+// Merge folds o into s, aligning buckets by upper bound (both sides come
+// from the same log2 bucketing, so bounds either match or interleave).
+func (s *HistogramSummary) Merge(o HistogramSummary) {
+	s.N += o.N
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	merged := make([]HistBucket, 0, len(s.Buckets)+len(o.Buckets))
+	i, j := 0, 0
+	for i < len(s.Buckets) || j < len(o.Buckets) {
+		switch {
+		case j >= len(o.Buckets) || (i < len(s.Buckets) && s.Buckets[i].Le < o.Buckets[j].Le):
+			merged = append(merged, s.Buckets[i])
+			i++
+		case i >= len(s.Buckets) || o.Buckets[j].Le < s.Buckets[i].Le:
+			merged = append(merged, o.Buckets[j])
+			j++
+		default:
+			merged = append(merged, HistBucket{Le: s.Buckets[i].Le, Count: s.Buckets[i].Count + o.Buckets[j].Count})
+			i++
+			j++
+		}
+	}
+	s.Buckets = merged
+}
+
+// Mean returns the summary's arithmetic mean, or 0 when empty.
+func (s HistogramSummary) Mean() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.N)
+}
+
+// Render returns the summary as an aligned text bar chart, one row per
+// non-empty bucket.
+func (s HistogramSummary) Render() string {
+	if s.N == 0 {
+		return "(empty)\n"
+	}
+	var peak uint64
+	for _, b := range s.Buckets {
+		if b.Count > peak {
+			peak = b.Count
+		}
+	}
+	var out strings.Builder
+	for _, b := range s.Buckets {
+		bar := int(b.Count * 40 / peak)
+		fmt.Fprintf(&out, "  ≤%-12d %8d %s\n", b.Le, b.Count, strings.Repeat("#", bar))
+	}
+	fmt.Fprintf(&out, "  n=%d mean=%.1f max=%d\n", s.N, s.Mean(), s.Max)
+	return out.String()
+}

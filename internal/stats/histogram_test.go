@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramObserve(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 4, 1000, 1 << 40} {
+		h.Observe(v)
+	}
+	if h.N() != 7 || h.Max() != 1<<40 {
+		t.Fatalf("n=%d max=%d", h.N(), h.Max())
+	}
+	if h.Sum() != 0+1+2+3+4+1000+1<<40 {
+		t.Fatalf("sum=%d", h.Sum())
+	}
+	s := h.Summary()
+	// Log2 buckets: 0 → ≤0, 1 → ≤1, 2..3 → ≤3, 4 → ≤7, 1000 → ≤1023.
+	want := map[uint64]uint64{0: 1, 1: 1, 3: 2, 7: 1, 1023: 1, 1<<41 - 1: 1}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets: %+v", s.Buckets)
+	}
+	for _, b := range s.Buckets {
+		if want[b.Le] != b.Count {
+			t.Fatalf("bucket ≤%d count=%d, want %d", b.Le, b.Count, want[b.Le])
+		}
+	}
+	// Buckets are ordered ascending (JSON determinism).
+	for i := 1; i < len(s.Buckets); i++ {
+		if s.Buckets[i].Le <= s.Buckets[i-1].Le {
+			t.Fatalf("buckets unsorted: %+v", s.Buckets)
+		}
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 {
+		t.Fatal("empty mean != 0")
+	}
+	h.Observe(10)
+	h.Observe(20)
+	if h.Mean() != 15 {
+		t.Fatalf("mean=%v", h.Mean())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(5)
+	a.Observe(100)
+	b.Observe(7)
+	b.Observe(9000)
+	a.Merge(&b)
+	if a.N() != 4 || a.Sum() != 5+100+7+9000 || a.Max() != 9000 {
+		t.Fatalf("merged: n=%d sum=%d max=%d", a.N(), a.Sum(), a.Max())
+	}
+	// 5 and 7 share the ≤7 bucket after merging.
+	for _, bk := range a.Summary().Buckets {
+		if bk.Le == 7 && bk.Count != 2 {
+			t.Fatalf("≤7 bucket count=%d, want 2", bk.Count)
+		}
+	}
+}
+
+func TestSummaryMergeMatchesHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := uint64(1); i < 200; i += 3 {
+		a.Observe(i * i)
+	}
+	for i := uint64(2); i < 300; i += 7 {
+		b.Observe(i * 5)
+	}
+	sa, sb := a.Summary(), b.Summary()
+	sa.Merge(sb)
+	a.Merge(&b)
+	direct := a.Summary()
+	if sa.N != direct.N || sa.Sum != direct.Sum || sa.Max != direct.Max || len(sa.Buckets) != len(direct.Buckets) {
+		t.Fatalf("summary merge diverged from histogram merge:\n%+v\n%+v", sa, direct)
+	}
+	for i := range sa.Buckets {
+		if sa.Buckets[i] != direct.Buckets[i] {
+			t.Fatalf("bucket %d: %+v vs %+v", i, sa.Buckets[i], direct.Buckets[i])
+		}
+	}
+}
+
+func TestSummaryRender(t *testing.T) {
+	var h Histogram
+	if got := h.Summary().Render(); got != "(empty)\n" {
+		t.Fatalf("empty render: %q", got)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100)
+	}
+	h.Observe(100000)
+	out := h.Summary().Render()
+	if !strings.Contains(out, "≤127") || !strings.Contains(out, "n=11") {
+		t.Fatalf("render missing fields:\n%s", out)
+	}
+	if !strings.Contains(out, "########") {
+		t.Fatalf("render missing bar:\n%s", out)
+	}
+}

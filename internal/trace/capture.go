@@ -1,0 +1,79 @@
+// Global trace capture: how per-engine recorders from a parallel experiment
+// sweep fold into one deterministic export.
+//
+// mkbench runs experiment points on a worker pool, each point a hermetic
+// engine with its own recorder. Engines contribute their serialized trace at
+// Close time, in whatever order the workers finish — so the collector sorts
+// contributed chunks by their content before assigning process ids. Chunk
+// bytes are a pure function of the (seed-deterministic) engine run, so the
+// sorted sequence — and therefore the exported file — is byte-identical at
+// any host parallelism.
+
+package trace
+
+import (
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	captureOn atomic.Bool
+	captureMu sync.Mutex
+	chunks    []capChunk
+)
+
+type capChunk struct {
+	key string // chunk serialized with pid 0: the deterministic sort key
+	evs []Event
+}
+
+// StartCapture begins a global capture window: engines created while the
+// window is open attach a full recorder and contribute it when closed.
+// Any previously captured chunks are discarded.
+func StartCapture() {
+	captureMu.Lock()
+	chunks = nil
+	captureMu.Unlock()
+	captureOn.Store(true)
+}
+
+// StopCapture ends the capture window and discards captured chunks.
+func StopCapture() {
+	captureOn.Store(false)
+	captureMu.Lock()
+	chunks = nil
+	captureMu.Unlock()
+}
+
+// Capturing reports whether a global capture window is open.
+func Capturing() bool { return captureOn.Load() }
+
+// Contribute adds r's events to the open capture window. Nil recorders and
+// closed windows are no-ops. Safe to call from concurrent harness workers.
+func Contribute(r *Recorder) {
+	if r == nil || !captureOn.Load() || r.Len() == 0 {
+		return
+	}
+	evs := append([]Event(nil), r.Events()...)
+	c := capChunk{key: string(appendChunk(nil, 0, evs)), evs: evs}
+	captureMu.Lock()
+	chunks = append(chunks, c)
+	captureMu.Unlock()
+}
+
+// WriteCaptured exports every contributed chunk as one Chrome trace JSON
+// document. Chunks are ordered by content and assigned process ids after
+// sorting, so the output bytes do not depend on contribution order.
+func WriteCaptured(w io.Writer) error {
+	captureMu.Lock()
+	cs := append([]capChunk(nil), chunks...)
+	captureMu.Unlock()
+	sort.Slice(cs, func(i, j int) bool { return cs[i].key < cs[j].key })
+	out := make([][]byte, len(cs))
+	for i, c := range cs {
+		out[i] = appendChunk(nil, i, c.evs)
+	}
+	return writeJSON(w, out)
+}

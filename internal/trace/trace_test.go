@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Emit(1, Instant, SubSim, 0, "x", 0, 0) // must not panic
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder retained events")
+	}
+	r.Reset()
+	if got := r.TextDump(); got != "" {
+		t.Fatalf("nil TextDump = %q", got)
+	}
+}
+
+func TestRecorderKeepsEmissionOrder(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(10, Begin, SubURPC, 2, "urpc.send", 0, 0)
+	r.Emit(15, FlowOut, SubURPC, 2, "urpc.msg", 0x42, 0)
+	r.Emit(20, End, SubURPC, 2, "urpc.send", 0, 0)
+	evs := r.Events()
+	if len(evs) != 3 || r.Len() != 3 {
+		t.Fatalf("got %d events, Len=%d", len(evs), r.Len())
+	}
+	if evs[0].Kind != Begin || evs[1].Kind != FlowOut || evs[2].Kind != End {
+		t.Fatalf("order lost: %v", evs)
+	}
+	if evs[1].ID != 0x42 || evs[1].At != 15 || evs[1].Core != 2 {
+		t.Fatalf("fields lost: %+v", evs[1])
+	}
+	r.Reset()
+	if r.Len() != 0 || len(r.Events()) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestRingRecorderKeepsLastN(t *testing.T) {
+	r := NewRing(4)
+	for i := uint64(0); i < 10; i++ {
+		r.Emit(i, Instant, SubSim, -1, "tick", 0, i)
+	}
+	if r.Len() != 10 {
+		t.Fatalf("Len=%d, want total emitted 10", r.Len())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.At != want {
+			t.Fatalf("event %d at t=%d, want %d (oldest-first after wrap)", i, ev.At, want)
+		}
+	}
+}
+
+func TestTextDumpFormat(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(100, Instant, SubCache, 3, "cache.inval", 0, 7)
+	r.Emit(200, FlowIn, SubURPC, 1, "urpc.msg", 0xbeef, 0)
+	dump := r.TextDump()
+	for _, want := range []string{"cache", "core3", "cache.inval", "arg=7", "core1", "id=0xbeef"} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("TextDump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+// TestWriteJSONIsValidChromeTrace parses the export with encoding/json and
+// checks the trace-event fields Perfetto keys on: phases, flow binding points,
+// process-scoped ids, and the 1-cycle-per-µs timestamp mapping.
+func TestWriteJSONIsValidChromeTrace(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(10, Begin, SubURPC, 0, "urpc.send", 0, 0)
+	r.Emit(12, FlowOut, SubURPC, 0, "urpc.msg", 0x101, 0)
+	r.Emit(14, End, SubURPC, 0, "urpc.send", 0, 0)
+	r.Emit(30, Begin, SubURPC, 5, "urpc.recv", 0, 0)
+	r.Emit(31, FlowIn, SubURPC, 5, "urpc.msg", 0x101, 0)
+	r.Emit(32, End, SubURPC, 5, "urpc.recv", 0, 0)
+	r.Emit(40, Instant, SubMonitor, 2, "monitor.decide", 9, 1)
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	byPhase := map[string][]map[string]any{}
+	for _, ev := range doc.TraceEvents {
+		byPhase[ev["ph"].(string)] = append(byPhase[ev["ph"].(string)], ev)
+	}
+	if len(byPhase["B"]) != 2 || len(byPhase["E"]) != 2 || len(byPhase["i"]) != 1 {
+		t.Fatalf("phase counts wrong: B=%d E=%d i=%d", len(byPhase["B"]), len(byPhase["E"]), len(byPhase["i"]))
+	}
+	if len(byPhase["s"]) != 1 || len(byPhase["f"]) != 1 {
+		t.Fatalf("flow ends missing: s=%d f=%d", len(byPhase["s"]), len(byPhase["f"]))
+	}
+	out, in := byPhase["s"][0], byPhase["f"][0]
+	oid := out["id2"].(map[string]any)["local"]
+	iid := in["id2"].(map[string]any)["local"]
+	if oid != "0x101" || oid != iid {
+		t.Fatalf("flow ids do not link: out=%v in=%v", oid, iid)
+	}
+	if in["bp"] != "e" {
+		t.Fatalf("FlowIn missing bp:e binding point: %v", in)
+	}
+	if out["tid"].(float64) == in["tid"].(float64) {
+		t.Fatal("flow ends on same tid; cross-core link lost")
+	}
+	if ts := byPhase["i"][0]["ts"].(float64); ts != 40 {
+		t.Fatalf("instant ts=%v, want 40 (1 cycle = 1 µs)", ts)
+	}
+	// Metadata names every process and thread that appears.
+	names := 0
+	for _, ev := range byPhase["M"] {
+		if ev["name"] == "process_name" || ev["name"] == "thread_name" {
+			names++
+		}
+	}
+	if names < 4 { // 1 process + 3 threads (core 0, 2, 5)
+		t.Fatalf("only %d naming metadata events", names)
+	}
+}
+
+// TestWriteJSONByteStable re-exports the same recorder and requires identical
+// bytes — the property the determinism test hashes.
+func TestWriteJSONByteStable(t *testing.T) {
+	r := NewRecorder()
+	for i := uint64(0); i < 100; i++ {
+		r.Emit(i, Kind(i%8), Subsystem(i%8), int32(i%5)-1, "ev", i*3, i^0xff)
+	}
+	var a, b bytes.Buffer
+	if err := WriteJSON(&a, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two exports of one recorder differ")
+	}
+}
+
+// TestCaptureOrderIndependent contributes recorders in two different orders
+// and requires byte-identical WriteCaptured output — the mechanism that makes
+// parallel sweeps deterministic.
+func TestCaptureOrderIndependent(t *testing.T) {
+	mk := func(seed uint64) *Recorder {
+		r := NewRecorder()
+		for i := uint64(0); i < 10; i++ {
+			r.Emit(seed*1000+i, Instant, SubSim, int32(seed), "tick", 0, i)
+		}
+		return r
+	}
+	export := func(order []uint64) []byte {
+		StartCapture()
+		defer StopCapture()
+		for _, s := range order {
+			Contribute(mk(s))
+		}
+		var buf bytes.Buffer
+		if err := WriteCaptured(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := export([]uint64{1, 2, 3})
+	b := export([]uint64{3, 1, 2})
+	if !bytes.Equal(a, b) {
+		t.Fatal("capture output depends on contribution order")
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("captured export invalid: %v", err)
+	}
+	pids := map[float64]bool{}
+	for _, ev := range doc.TraceEvents {
+		pids[ev["pid"].(float64)] = true
+	}
+	if !pids[0] || !pids[1] || !pids[2] {
+		t.Fatalf("expected pids 0..2, got %v", pids)
+	}
+}
+
+func TestContributeOutsideWindowIgnored(t *testing.T) {
+	StopCapture()
+	r := NewRecorder()
+	r.Emit(1, Instant, SubSim, -1, "x", 0, 0)
+	Contribute(r) // closed window: dropped
+	StartCapture()
+	defer StopCapture()
+	var buf bytes.Buffer
+	if err := WriteCaptured(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] != "M" {
+			t.Fatalf("stray event leaked into empty capture: %v", ev)
+		}
+	}
+}
+
+// BenchmarkEmitNil is the disabled-recorder cost at an instrumentation site:
+// the overhead contract says this is one predicted branch.
+func BenchmarkEmitNil(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(uint64(i), Instant, SubSim, 0, "bench", 0, 0)
+	}
+}
+
+// BenchmarkEmitRing is the enabled steady-state cost: ring reuse means no
+// allocation after warm-up.
+func BenchmarkEmitRing(b *testing.B) {
+	r := NewRing(1 << 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Emit(uint64(i), Instant, SubSim, 0, "bench", 0, 0)
+	}
+}

@@ -17,8 +17,10 @@ import (
 
 	"multikernel/internal/cache"
 	"multikernel/internal/memory"
+	"multikernel/internal/metrics"
 	"multikernel/internal/sim"
 	"multikernel/internal/topo"
+	"multikernel/internal/trace"
 )
 
 // PayloadWords is the number of 64-bit payload words per message; the eighth
@@ -43,19 +45,22 @@ const (
 // maxBackoffGap caps the exponential poll backoff of the deadline variants.
 const maxBackoffGap = 1600
 
-// Stats counts channel activity.
+// Stats counts per-channel activity. Deadline expiries and backoff re-polls
+// live in the engine's metrics registry ("urpc.timeouts", "urpc.retries"), not
+// here: they are fleet-wide health signals, and keeping one accumulation
+// convention avoids the per-channel/per-registry drift the old ad-hoc fields
+// suffered from.
 type Stats struct {
 	Sent      uint64
 	Received  uint64
 	FullStall uint64 // sends that had to wait for ring space
 	Notifies  uint64 // blocked-receiver wakeups
-	Timeouts  uint64 // SendTimeout/RecvTimeout deadline expiries
-	Retries   uint64 // backed-off re-polls in the deadline variants
 }
 
 // Channel is a unidirectional point-to-point URPC channel.
 type Channel struct {
 	sys      *cache.System
+	eng      *sim.Engine
 	Sender   topo.CoreID
 	Receiver topo.CoreID
 
@@ -72,6 +77,16 @@ type Channel struct {
 	blocked *sim.Proc // receiver parked awaiting notification, if any
 	dead    bool      // peer declared fail-stopped; sends are refused
 	stats   Stats
+
+	// id is the channel's engine-unique serial; flow-event ids are
+	// id<<32|seq, linking a send on the sender core to its receive on the
+	// receiver core in exported traces.
+	id uint64
+
+	// Registry handles, shared by all channels of one engine.
+	mSent, mReceived, mFullStall *metrics.Counter
+	mNotifies, mTimeouts         *metrics.Counter
+	mRetries                     *metrics.Counter
 }
 
 // Options configure channel construction.
@@ -99,14 +114,24 @@ func New(sys *cache.System, sender, receiver topo.CoreID, opts Options) *Channel
 	if opts.Home < 0 {
 		home = sys.Machine().Socket(receiver)
 	}
+	eng := sys.Engine()
+	reg := eng.Metrics()
 	c := &Channel{
-		sys:      sys,
-		Sender:   sender,
-		Receiver: receiver,
-		ring:     sys.Memory().AllocLines(slots, home),
-		ack:      sys.Memory().AllocLines(1, home),
-		slots:    slots,
-		prefetch: opts.Prefetch,
+		sys:        sys,
+		eng:        eng,
+		Sender:     sender,
+		Receiver:   receiver,
+		ring:       sys.Memory().AllocLines(slots, home),
+		ack:        sys.Memory().AllocLines(1, home),
+		slots:      slots,
+		prefetch:   opts.Prefetch,
+		id:         eng.Serial(),
+		mSent:      reg.Counter("urpc.sent"),
+		mReceived:  reg.Counter("urpc.received"),
+		mFullStall: reg.Counter("urpc.full_stalls"),
+		mNotifies:  reg.Counter("urpc.notifies"),
+		mTimeouts:  reg.Counter("urpc.timeouts"),
+		mRetries:   reg.Counter("urpc.retries"),
 	}
 	return c
 }
@@ -136,6 +161,7 @@ func (c *Channel) CanSend() bool {
 func (c *Channel) Send(p *sim.Proc, msg Message) {
 	for c.sendSeq-c.sendAcked >= uint64(c.slots) {
 		c.stats.FullStall++
+		c.mFullStall.Inc()
 		// Re-read the receiver's published progress from the ack line.
 		c.sendAcked = c.sys.Load(p, c.Sender, c.ack.Base)
 		if c.sendSeq-c.sendAcked >= uint64(c.slots) {
@@ -160,15 +186,18 @@ func (c *Channel) SendTimeout(p *sim.Proc, msg Message, timeout sim.Time) bool {
 	gap := sim.Time(pollGap)
 	for c.sendSeq-c.sendAcked >= uint64(c.slots) {
 		c.stats.FullStall++
+		c.mFullStall.Inc()
 		c.sendAcked = c.sys.Load(p, c.Sender, c.ack.Base)
 		if c.sendSeq-c.sendAcked < uint64(c.slots) {
 			break
 		}
 		if p.Now() >= deadline {
-			c.stats.Timeouts++
+			c.mTimeouts.Inc()
+			c.eng.Tracer().Emit(uint64(p.Now()), trace.Instant, trace.SubURPC, int32(c.Sender), "urpc.timeout", c.id<<32, 0)
 			return false
 		}
-		c.stats.Retries++
+		c.mRetries.Inc()
+		c.eng.Tracer().Emit(uint64(p.Now()), trace.Instant, trace.SubURPC, int32(c.Sender), "urpc.backoff", c.id<<32, uint64(gap))
 		p.Sleep(gap)
 		if gap < maxBackoffGap {
 			gap *= 2
@@ -181,6 +210,8 @@ func (c *Channel) SendTimeout(p *sim.Proc, msg Message, timeout sim.Time) bool {
 // transmit performs the actual slot write and receiver notification; the ring
 // must have space.
 func (c *Channel) transmit(p *sim.Proc, msg Message) {
+	rec := c.eng.Tracer()
+	rec.Emit(uint64(p.Now()), trace.Begin, trace.SubURPC, int32(c.Sender), "urpc.send", 0, 0)
 	p.Sleep(sendSetupCost)
 	var line [memory.WordsPerLine]uint64
 	copy(line[:], msg[:])
@@ -188,15 +219,19 @@ func (c *Channel) transmit(p *sim.Proc, msg Message) {
 	c.sys.StoreLine(p, c.Sender, c.slotAddr(c.sendSeq), line)
 	c.sendSeq++
 	c.stats.Sent++
+	c.mSent.Inc()
+	rec.Emit(uint64(p.Now()), trace.FlowOut, trace.SubURPC, int32(c.Sender), "urpc.msg", c.id<<32|c.sendSeq, 0)
 	if c.blocked != nil {
 		// The receiver exhausted its polling window and asked its monitor to
 		// notify it; model the notification as an IPI-cost wakeup (§5.2).
 		w := c.blocked
 		c.blocked = nil
 		c.stats.Notifies++
+		c.mNotifies.Inc()
 		p.Sleep(c.sys.Machine().Costs.IPIDeliver)
 		p.Unpark(w)
 	}
+	rec.Emit(uint64(p.Now()), trace.End, trace.SubURPC, int32(c.Sender), "urpc.send", 0, 0)
 }
 
 // TryRecv polls once; it returns the next message if one is ready.
@@ -204,15 +239,23 @@ func (c *Channel) TryRecv(p *sim.Proc) (Message, bool) {
 	var msg Message
 	slot := c.slotAddr(c.recvSeq)
 	seqWord := slot + memory.Addr(PayloadWords*8)
+	t0 := uint64(p.Now())
 	p.Sleep(recvCheckCost)
 	if c.sys.Load(p, c.Receiver, seqWord) != c.recvSeq+1 {
 		return msg, false
 	}
+	// Retroactive span open: only successful polls become urpc.recv slices, so
+	// idle polling does not flood the trace; t0 still covers the seq-word
+	// fetch that dominates single-message latency.
+	rec := c.eng.Tracer()
+	rec.Emit(t0, trace.Begin, trace.SubURPC, int32(c.Receiver), "urpc.recv", 0, 0)
 	line := c.sys.LoadLine(p, c.Receiver, slot)
 	copy(msg[:], line[:PayloadWords])
 	p.Sleep(recvCopyCost)
 	c.recvSeq++
 	c.stats.Received++
+	c.mReceived.Inc()
+	rec.Emit(uint64(p.Now()), trace.FlowIn, trace.SubURPC, int32(c.Receiver), "urpc.msg", c.id<<32|c.recvSeq, 0)
 	// Publish progress so the sender can reuse slots. Writing every
 	// half-ring amortizes the reverse-direction coherence traffic; an idle
 	// ring publishes immediately so a stalled sender always makes progress.
@@ -223,6 +266,7 @@ func (c *Channel) TryRecv(p *sim.Proc) (Message, bool) {
 	if c.prefetch && c.recvSeq > 0 {
 		c.sys.Prefetch(p, c.Receiver, c.slotAddr(c.recvSeq))
 	}
+	rec.Emit(uint64(p.Now()), trace.End, trace.SubURPC, int32(c.Receiver), "urpc.recv", 0, 0)
 	return msg, true
 }
 
@@ -280,10 +324,12 @@ func (c *Channel) RecvTimeout(p *sim.Proc, timeout sim.Time) (Message, bool) {
 			return m, true
 		}
 		if p.Now() >= deadline {
-			c.stats.Timeouts++
+			c.mTimeouts.Inc()
+			c.eng.Tracer().Emit(uint64(p.Now()), trace.Instant, trace.SubURPC, int32(c.Receiver), "urpc.timeout", c.id<<32, 0)
 			return Message{}, false
 		}
-		c.stats.Retries++
+		c.mRetries.Inc()
+		c.eng.Tracer().Emit(uint64(p.Now()), trace.Instant, trace.SubURPC, int32(c.Receiver), "urpc.backoff", c.id<<32, uint64(gap))
 		p.Sleep(gap)
 		if gap < maxBackoffGap {
 			gap *= 2

@@ -9,6 +9,7 @@ import (
 	"multikernel/internal/memory"
 	"multikernel/internal/sim"
 	"multikernel/internal/topo"
+	"multikernel/internal/trace"
 )
 
 func newSys(m *topo.Machine) (*sim.Engine, *cache.System) {
@@ -18,13 +19,12 @@ func newSys(m *topo.Machine) (*sim.Engine, *cache.System) {
 
 // assertFaultFree verifies that a fault-free workload never took a timeout or
 // backoff-retry path: those are reserved for fault handling, and any nonzero
-// count here is an accidental latency regression.
-func assertFaultFree(t *testing.T, chs ...*Channel) {
+// registry count is an accidental latency regression.
+func assertFaultFree(t *testing.T, e *sim.Engine) {
 	t.Helper()
-	for _, ch := range chs {
-		if st := ch.Stats(); st.Timeouts != 0 || st.Retries != 0 {
-			t.Errorf("%v: fault-free run recorded Timeouts=%d Retries=%d, want 0/0", ch, st.Timeouts, st.Retries)
-		}
+	snap := e.Metrics().Snapshot()
+	if to, re := snap.Counters["urpc.timeouts"], snap.Counters["urpc.retries"]; to != 0 || re != 0 {
+		t.Errorf("fault-free run recorded urpc.timeouts=%d urpc.retries=%d, want 0/0", to, re)
 	}
 }
 
@@ -41,7 +41,7 @@ func TestSingleMessageRoundTrip(t *testing.T) {
 	if got != (Message{1, 2, 3, 4, 5, 6, 7}) {
 		t.Fatalf("got %v", got)
 	}
-	assertFaultFree(t, ch)
+	assertFaultFree(t, e)
 }
 
 func TestFIFOOrderAcrossManyMessages(t *testing.T) {
@@ -74,7 +74,7 @@ func TestFIFOOrderAcrossManyMessages(t *testing.T) {
 	if st.Sent != n || st.Received != n {
 		t.Fatalf("stats %+v", st)
 	}
-	assertFaultFree(t, ch)
+	assertFaultFree(t, e)
 }
 
 func TestSenderBlocksWhenRingFull(t *testing.T) {
@@ -99,7 +99,7 @@ func TestSenderBlocksWhenRingFull(t *testing.T) {
 	if ch.Stats().Received != 20 {
 		t.Fatalf("received %d", ch.Stats().Received)
 	}
-	assertFaultFree(t, ch)
+	assertFaultFree(t, e)
 }
 
 func TestOneWayLatencyMatchesPaperBallpark(t *testing.T) {
@@ -125,7 +125,7 @@ func TestOneWayLatencyMatchesPaperBallpark(t *testing.T) {
 		if lat < wantLo || lat > wantHi {
 			t.Errorf("latency %d->%d = %d cycles, want in [%d, %d]", sender, receiver, lat, wantLo, wantHi)
 		}
-		assertFaultFree(t, ch)
+		assertFaultFree(t, e)
 	}
 	check(0, 1, 340, 560) // same socket: ~450
 	check(0, 2, 400, 660) // one hop: ~532
@@ -155,7 +155,7 @@ func TestPipelinedThroughputBeatsLatencyBound(t *testing.T) {
 	if perMsg >= 430 {
 		t.Fatalf("pipelined cost %d cycles/msg, want < 430", perMsg)
 	}
-	assertFaultFree(t, ch)
+	assertFaultFree(t, e)
 }
 
 func TestRecvWindowBlocksAndIsNotified(t *testing.T) {
@@ -182,7 +182,7 @@ func TestRecvWindowBlocksAndIsNotified(t *testing.T) {
 	if ch.Stats().Notifies != 1 {
 		t.Fatalf("notifies=%d, want 1", ch.Stats().Notifies)
 	}
-	assertFaultFree(t, ch)
+	assertFaultFree(t, e)
 }
 
 func TestRecvWindowFastPathNoNotify(t *testing.T) {
@@ -197,7 +197,7 @@ func TestRecvWindowFastPathNoNotify(t *testing.T) {
 	if ch.Stats().Notifies != 0 {
 		t.Fatal("message within polling window should not need notification")
 	}
-	assertFaultFree(t, ch)
+	assertFaultFree(t, e)
 }
 
 func TestPrefetchImprovesThroughput(t *testing.T) {
@@ -218,7 +218,7 @@ func TestPrefetchImprovesThroughput(t *testing.T) {
 			}
 		})
 		e.Run()
-		assertFaultFree(t, ch)
+		assertFaultFree(t, e)
 		return end
 	}
 	plain, pf := measure(false), measure(true)
@@ -273,7 +273,9 @@ func TestPayloadIntegrityProperty(t *testing.T) {
 		})
 		e.Run()
 		st := ch.Stats()
-		return ok && st.Timeouts == 0 && st.Retries == 0
+		snap := e.Metrics().Snapshot()
+		return ok && st.Sent == uint64(len(payloads)) &&
+			snap.Counters["urpc.timeouts"] == 0 && snap.Counters["urpc.retries"] == 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
@@ -314,7 +316,7 @@ func TestCanSendAndPending(t *testing.T) {
 	if s := ch.String(); s == "" {
 		t.Fatal("empty String()")
 	}
-	assertFaultFree(t, ch)
+	assertFaultFree(t, e)
 }
 
 // TestSendTimeoutFastPathMatchesSend: with ring space available, SendTimeout
@@ -338,7 +340,7 @@ func TestSendTimeoutFastPathMatchesSend(t *testing.T) {
 		})
 		e.Run()
 		if useTimeout {
-			assertFaultFree(t, ch)
+			assertFaultFree(t, e)
 		}
 		return took
 	}
@@ -373,16 +375,17 @@ func TestSendTimeoutExpiresOnDeadReceiver(t *testing.T) {
 	if sent != 2 || failed != 1 {
 		t.Fatalf("sent=%d failed=%d, want 2 slots filled then 1 timeout", sent, failed)
 	}
-	st := ch.Stats()
-	if st.Timeouts != 1 {
-		t.Fatalf("Timeouts=%d, want 1", st.Timeouts)
+	snap := e.Metrics().Snapshot()
+	timeouts, retries := snap.Counters["urpc.timeouts"], snap.Counters["urpc.retries"]
+	if timeouts != 1 {
+		t.Fatalf("urpc.timeouts=%d, want 1", timeouts)
 	}
-	if st.Retries == 0 {
+	if retries == 0 {
 		t.Fatal("no backoff retries recorded before the timeout")
 	}
 	// Exponential backoff keeps the retry count well below timeout/pollGap.
-	if st.Retries >= timeout/pollGap/2 {
-		t.Fatalf("Retries=%d suggests linear polling, want exponential backoff", st.Retries)
+	if retries >= uint64(timeout/pollGap/2) {
+		t.Fatalf("urpc.retries=%d suggests linear polling, want exponential backoff", retries)
 	}
 	if gaveUpAt > timeout+maxBackoffGap+1000 {
 		t.Fatalf("gave up at %d, deadline was ~%d", gaveUpAt, timeout)
@@ -413,8 +416,64 @@ func TestRecvTimeoutExpiresAndDelivers(t *testing.T) {
 	if !secondOK || second[0] != 42 {
 		t.Fatalf("second recv: ok=%v msg=%v", secondOK, second)
 	}
-	if st := ch.Stats(); st.Timeouts != 1 || st.Retries == 0 {
-		t.Fatalf("stats %+v, want exactly 1 timeout and some retries", st)
+	snap := e.Metrics().Snapshot()
+	if snap.Counters["urpc.timeouts"] != 1 || snap.Counters["urpc.retries"] == 0 {
+		t.Fatalf("urpc.timeouts=%d urpc.retries=%d, want exactly 1 timeout and some retries",
+			snap.Counters["urpc.timeouts"], snap.Counters["urpc.retries"])
+	}
+}
+
+// TestTraceLinksSendToRecv: every transmitted message produces a FlowOut
+// inside the sender's urpc.send span and a FlowIn inside the receiver's
+// urpc.recv span carrying the same flow id, so an exported trace renders the
+// cross-core message arrow. Channels on one engine must never share flow ids.
+func TestTraceLinksSendToRecv(t *testing.T) {
+	e, sys := newSys(topo.AMD2x2())
+	rec := trace.NewRecorder()
+	e.SetTracer(rec)
+	ch := New(sys, 0, 2, Options{Home: -1})
+	ch2 := New(sys, 1, 3, Options{Home: -1})
+	const n = 3
+	e.Spawn("recv", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			ch.Recv(p)
+		}
+	})
+	e.Spawn("send", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			ch.Send(p, Message{uint64(i)})
+		}
+	})
+	e.Spawn("recv2", func(p *sim.Proc) { ch2.Recv(p) })
+	e.Spawn("send2", func(p *sim.Proc) { ch2.Send(p, Message{9}) })
+	e.Run()
+	out := map[uint64]int32{} // flow id -> emitting core
+	in := map[uint64]int32{}
+	for _, ev := range rec.Events() {
+		if ev.Name != "urpc.msg" {
+			continue
+		}
+		switch ev.Kind {
+		case trace.FlowOut:
+			if _, dup := out[ev.ID]; dup {
+				t.Fatalf("flow id %#x emitted twice by senders", ev.ID)
+			}
+			out[ev.ID] = ev.Core
+		case trace.FlowIn:
+			in[ev.ID] = ev.Core
+		}
+	}
+	if len(out) != n+1 || len(in) != n+1 {
+		t.Fatalf("flow events: %d out, %d in, want %d each", len(out), len(in), n+1)
+	}
+	for id, senderCore := range out {
+		recvCore, ok := in[id]
+		if !ok {
+			t.Fatalf("send flow %#x has no matching recv", id)
+		}
+		if senderCore == recvCore {
+			t.Fatalf("flow %#x stayed on core %d, want cross-core link", id, senderCore)
+		}
 	}
 }
 
