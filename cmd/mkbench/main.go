@@ -7,7 +7,12 @@
 //	mkbench [-quick] [-parallel N] [-json file] [-trace file] [-fault-seed N] [experiment ...]
 //
 // Experiments: fig3 tab1 tab2 tab3 fig6 fig7 fig8 tab4 fig9 sec54 poll
-// ablations extensions faults, or "all" (the default).
+// ablations extensions faults urpcv2, or "all" (the default).
+//
+// The urpcv2 experiment sweeps the v2 transport: pipelined throughput
+// against sender in-flight depth 1→16, the ring-vs-bulk crossover for
+// payloads of 1→64 cache lines, and a Table 2-style per-hop cost table
+// (stop-and-wait, fully pipelined, and bulk per-line) across all machines.
 //
 // The faults experiment drives coordinated operations through seeded fault
 // schedules (fail-stop cores, degraded links, cache stalls) with monitor
@@ -135,6 +140,11 @@ func main() {
 			lat, thr := expt.FaultRecovery(*faultSeed, 2*iters)
 			showFig("faults-latency", lat)
 			showFig("faults-throughput", thr)
+		}},
+		{"urpcv2", func() {
+			showFig("urpcv2-depth", expt.URPCv2Depth(30*iters))
+			showFig("urpcv2-size", expt.URPCv2Size(3*iters))
+			showTab(expt.URPCv2Table(30 * iters))
 		}},
 	}
 

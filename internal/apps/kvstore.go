@@ -94,15 +94,29 @@ func bits(n int) int {
 	return b
 }
 
+// Request opcodes, carried in word 2 of the request message.
+const (
+	kvOpPoint = iota // point SELECT: {key}
+	kvOpRange        // range SELECT over the bulk channel: {lo, hi}
+)
+
+// kvBulkSlotLines sizes one bulk-channel slot: 64 lines carry 512 row values
+// per transfer; larger ranges stream as multiple payloads.
+const kvBulkSlotLines = 64
+
 // KVService runs a KVStore as a single-core server domain reached over URPC
 // request/response channels — the configuration of §5.4's web+database
-// experiment, where the database core is the bottleneck.
+// experiment, where the database core is the bottleneck. Row values of range
+// queries ride a per-client bulk channel: the server writes them into the
+// shared pool and the client pulls the lines on first touch, so result sets
+// move without a per-row message or copy.
 type KVService struct {
-	kv   *KVStore
-	reqs []*urpc.Channel
-	rsps []*urpc.Channel
-	proc *sim.Proc
-	eng  *sim.Engine
+	kv    *KVStore
+	reqs  []*urpc.Channel
+	rsps  []*urpc.Channel
+	bulks []*urpc.BulkChannel
+	proc  *sim.Proc
+	eng   *sim.Engine
 }
 
 // NewKVService starts the service on its store's core.
@@ -120,28 +134,47 @@ func (s *KVService) Connect(client topo.CoreID) *KVClient {
 	sys := s.kv.sys
 	req := urpc.New(sys, client, s.kv.core, urpc.Options{Slots: 8, Home: int(sys.Machine().Socket(s.kv.core))})
 	rsp := urpc.New(sys, s.kv.core, client, urpc.Options{Slots: 8, Home: int(sys.Machine().Socket(client))})
+	bulk := urpc.NewBulk(sys, s.kv.core, client, urpc.BulkOptions{
+		Slots: 8, SlotLines: kvBulkSlotLines,
+		Home: int(sys.Machine().Socket(client)), Prefetch: true,
+	})
 	s.reqs = append(s.reqs, req)
 	s.rsps = append(s.rsps, rsp)
+	s.bulks = append(s.bulks, bulk)
 	s.eng.Wake(s.proc)
-	return &KVClient{req: req, rsp: rsp, svc: s}
+	return &KVClient{req: req, rsp: rsp, bulk: bulk, svc: s}
 }
 
 func (s *KVService) loop(p *sim.Proc) {
 	idle := 0
+	var reqBuf [8]urpc.Message
+	var replies []urpc.Message
 	for {
 		progress := false
 		for i, req := range s.reqs {
-			m, ok := req.TryRecv(p)
-			if !ok {
+			// Burst dequeue: one check charge drains a client's whole request
+			// batch, and the replies go back as one vectored send.
+			n := req.RecvAll(p, reqBuf[:])
+			if n == 0 {
 				continue
 			}
 			progress = true
-			v, found := s.kv.Select(p, m[0])
-			f := uint64(0)
-			if found {
-				f = 1
+			replies = replies[:0]
+			for _, m := range reqBuf[:n] {
+				switch m[2] {
+				case kvOpRange:
+					cnt := s.serveRange(p, i, m[0], m[1])
+					replies = append(replies, urpc.Message{uint64(cnt), 1, kvOpRange})
+				default:
+					v, found := s.kv.Select(p, m[0])
+					f := uint64(0)
+					if found {
+						f = 1
+					}
+					replies = append(replies, urpc.Message{v, f})
+				}
 			}
-			s.rsps[i].Send(p, urpc.Message{v, f})
+			s.rsps[i].SendBatch(p, replies)
 		}
 		if progress {
 			idle = 0
@@ -157,11 +190,39 @@ func (s *KVService) loop(p *sim.Proc) {
 	}
 }
 
+// serveRange scans [lo, hi) and streams the matching row values to client i's
+// bulk channel, returning the match count. The response message follows the
+// last payload, so the client knows how many values to drain.
+func (s *KVService) serveRange(p *sim.Proc, client int, lo, hi uint64) int {
+	kv := s.kv
+	kv.Queries++
+	p.Sleep(kvParseCost)
+	i := sort.Search(len(kv.index), func(j int) bool { return kv.index[j] >= lo })
+	bulk := s.bulks[client]
+	buf := make([]byte, 0, bulk.SlotBytes())
+	n := 0
+	for ; i < len(kv.index) && kv.index[i] < hi; i++ {
+		p.Sleep(kvRowCost)
+		v := kv.sys.Load(p, kv.core, kv.rows.LineAt(i))
+		buf = binary.LittleEndian.AppendUint64(buf, v)
+		n++
+		if len(buf) == bulk.SlotBytes() {
+			bulk.Send(p, buf)
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		bulk.Send(p, buf)
+	}
+	return n
+}
+
 // KVClient is a connected caller.
 type KVClient struct {
-	req *urpc.Channel
-	rsp *urpc.Channel
-	svc *KVService
+	req  *urpc.Channel
+	rsp  *urpc.Channel
+	bulk *urpc.BulkChannel
+	svc  *KVService
 }
 
 // Select performs a synchronous remote SELECT.
@@ -170,6 +231,70 @@ func (c *KVClient) Select(p *sim.Proc, key uint64) (uint64, bool) {
 	c.svc.eng.Wake(c.svc.proc) // notify a parked service
 	m := c.rsp.Recv(p)
 	return m[0], m[1] == 1
+}
+
+// SelectMany pipelines point SELECTs: keys go out as vectored batches sized
+// to the response ring (so the server can never block on a full reply ring),
+// and replies are drained in bursts. Results are positional; found[i] reports
+// whether keys[i] matched.
+func (c *KVClient) SelectMany(p *sim.Proc, keys []uint64) (vals []uint64, found []bool) {
+	window := c.rsp.Slots()
+	reqs := make([]urpc.Message, 0, window)
+	rbuf := make([]urpc.Message, window)
+	for len(keys) > 0 {
+		n := window
+		if n > len(keys) {
+			n = len(keys)
+		}
+		reqs = reqs[:0]
+		for _, k := range keys[:n] {
+			reqs = append(reqs, urpc.Message{k})
+		}
+		c.req.SendBatch(p, reqs)
+		c.svc.eng.Wake(c.svc.proc)
+		got := 0
+		for got < n {
+			k := c.rsp.RecvAll(p, rbuf[got:n])
+			if k == 0 {
+				p.Sleep(200)
+				continue
+			}
+			for _, m := range rbuf[got : got+k] {
+				vals = append(vals, m[0])
+				found = append(found, m[1] == 1)
+			}
+			got += k
+		}
+		keys = keys[n:]
+	}
+	return vals, found
+}
+
+// SelectRange performs a remote range SELECT over [lo, hi): the row values
+// arrive zero-copy through the bulk channel. Payloads are drained while
+// waiting for the count reply, so result sets larger than the bulk ring
+// never stall the server.
+func (c *KVClient) SelectRange(p *sim.Proc, lo, hi uint64) []uint64 {
+	c.req.Send(p, urpc.Message{lo, hi, kvOpRange})
+	c.svc.eng.Wake(c.svc.proc)
+	var vals []uint64
+	total := -1
+	for total < 0 || len(vals) < total {
+		if total < 0 {
+			if m, ok := c.rsp.TryRecv(p); ok {
+				total = int(m[0])
+				continue
+			}
+		}
+		if b, ok := c.bulk.TryRecv(p); ok {
+			for off := 0; off+8 <= len(b); off += 8 {
+				vals = append(vals, binary.LittleEndian.Uint64(b[off:]))
+			}
+			continue
+		}
+		p.Sleep(200)
+	}
+	return vals
 }
 
 // EncodeKey serializes a key for transport in HTTP query bodies.

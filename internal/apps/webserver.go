@@ -90,6 +90,20 @@ func (w *WebServer) handle(p *sim.Proc, conn *netstack.TCPConn) {
 				break
 			}
 			body = []byte(fmt.Sprintf("{\"key\":%d,\"value\":%d}", key, v))
+		case strings.HasPrefix(path, "/range/") && w.DB != nil:
+			lo, hi, ok := parseRangeSpec(path[len("/range/"):])
+			if !ok {
+				status, body = "400 Bad Request", []byte("bad range")
+				w.Errors++
+				break
+			}
+			// Row values arrive zero-copy over the client's bulk channel.
+			vals := w.DB.SelectRange(p, lo, hi)
+			var sum uint64
+			for _, v := range vals {
+				sum += v
+			}
+			body = []byte(fmt.Sprintf("{\"count\":%d,\"sum\":%d}", len(vals), sum))
 		default:
 			status, body = "404 Not Found", []byte("not found")
 			w.Errors++
@@ -102,6 +116,17 @@ func (w *WebServer) handle(p *sim.Proc, conn *netstack.TCPConn) {
 		p.Sleep(connTeardownCost)
 		return
 	}
+}
+
+// parseRangeSpec parses the "<lo>-<hi>" tail of a /range/ request.
+func parseRangeSpec(s string) (lo, hi uint64, ok bool) {
+	i := strings.IndexByte(s, '-')
+	if i < 0 {
+		return 0, 0, false
+	}
+	lo, err1 := strconv.ParseUint(s[:i], 10, 64)
+	hi, err2 := strconv.ParseUint(s[i+1:], 10, 64)
+	return lo, hi, err1 == nil && err2 == nil && lo <= hi
 }
 
 // parseRequestPath extracts the path of a "GET <path> HTTP/1.0" request.

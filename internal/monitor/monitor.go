@@ -45,10 +45,12 @@ func (p Protocol) String() string {
 // machine-specific costs come from topo.CostParams).
 const (
 	marshalCost  = 60  // building and marshaling one protocol message
+	marshalDelta = 12  // re-targeting an already-marshaled message in a fan-out
 	loopCost     = 8   // one pass of the dispatch loop bookkeeping
 	idleSleep    = 140 // gap between idle polling sweeps
 	idleToBlock  = 40  // idle sweeps before the monitor blocks
 	monitorSlots = 64  // inter-monitor channel ring size
+	recvBurst    = 4   // messages drained per peer per dispatch-loop pass
 )
 
 // Stats counts one monitor's activity.
@@ -285,12 +287,47 @@ func (m *Monitor) send(p *sim.Proc, to topo.CoreID, msg urpc.Message) {
 	m.net.wake(p, to)
 }
 
+// batchMsg is one destination of a batched fan-out.
+type batchMsg struct {
+	to  topo.CoreID
+	msg urpc.Message
+}
+
+// sendMany transmits a dissemination fan-out as one pipelined burst: the
+// message body is marshaled once (marshalCost) and each further destination
+// pays only the re-targeting delta; all ring writes are issued back-to-back
+// and receiver wakeups are delivered after the last write, so a parked peer
+// is notified exactly once per burst. With fault tolerance armed, every send
+// carries its own deadline and ChannelDead verdict handling, so the burst
+// falls back to the per-message path (keeping the fault machinery — and its
+// cycle accounting — unchanged).
+func (m *Monitor) sendMany(p *sim.Proc, msgs []batchMsg) {
+	if m.net.OpTimeout > 0 {
+		for _, bm := range msgs {
+			m.send(p, bm.to, bm.msg)
+		}
+		return
+	}
+	for i, bm := range msgs {
+		if i == 0 {
+			p.Sleep(marshalCost)
+		} else {
+			p.Sleep(marshalDelta)
+		}
+		m.out[bm.to].Send(p, bm.msg)
+	}
+	for _, bm := range msgs {
+		m.net.wake(p, bm.to)
+	}
+}
+
 // run is the monitor dispatch loop: poll local requests and every incoming
 // channel; block after a sustained idle period and wait for notification.
 func (m *Monitor) run(p *sim.Proc) {
 	p.SetDaemon(true)
 	costs := &m.net.Sys.Machine().Costs
 	idle := 0
+	var burst [recvBurst]urpc.Message
 	for {
 		progress := false
 		if req, ok := m.local.TryPop(); ok {
@@ -298,8 +335,14 @@ func (m *Monitor) run(p *sim.Proc) {
 			progress = true
 		}
 		for _, src := range m.peers {
-			if msg, ok := m.in[src].TryRecv(p); ok {
-				m.dispatch(p, src, msg)
+			// Burst dequeue: one check charge drains up to recvBurst queued
+			// messages from this peer. The burst is capped so one chatty peer
+			// cannot starve the others in a single pass.
+			n := m.in[src].RecvAll(p, burst[:])
+			for i := 0; i < n; i++ {
+				m.dispatch(p, src, burst[i])
+			}
+			if n > 0 {
 				progress = true
 			}
 		}

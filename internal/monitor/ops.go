@@ -218,9 +218,11 @@ func (m *Monitor) startShootdown(p *sim.Proc, req *localReq, started sim.Time) {
 		return
 	}
 	m.ops[req.op.ID] = &opState{req: req, started: started, plan: plan, pending: planPending(plan), phase: 1, deadline: m.opDeadline(p, 0)}
+	msgs := make([]batchMsg, 0, len(plan))
 	for _, s := range plan {
-		m.send(p, s.to, wire(MsgShootdown, req.op, s.mask))
+		msgs = append(msgs, batchMsg{to: s.to, msg: wire(MsgShootdown, req.op, s.mask)})
 	}
+	m.sendMany(p, msgs)
 }
 
 func (m *Monitor) start2PC(p *sim.Proc, req *localReq, started sim.Time) {
@@ -244,9 +246,11 @@ func (m *Monitor) start2PC(p *sim.Proc, req *localReq, started sim.Time) {
 	st := &opState{req: req, started: started, pending: planPending(plan), phase: 1, allYes: true, deadline: m.opDeadline(p, 0)}
 	st.plan = plan
 	m.ops[op.ID] = st
+	msgs := make([]batchMsg, 0, len(plan))
 	for _, s := range plan {
-		m.send(p, s.to, wire(MsgPrepare, op, s.mask))
+		msgs = append(msgs, batchMsg{to: s.to, msg: wire(MsgPrepare, op, s.mask)})
 	}
+	m.sendMany(p, msgs)
 }
 
 // ---------------------------------------------------------------------------
@@ -269,9 +273,11 @@ func (m *Monitor) handleShootdown(p *sim.Proc, src topo.CoreID, op Op, aux uint6
 	if len(children) > 0 && !isFwd {
 		m.fwd[op.ID] = &fwdState{parent: src, op: op, pending: corePending(children), ackKind: MsgShootdownAck, deadline: m.fwdDeadline(p)}
 		m.fwdBegin(p, op)
+		msgs := make([]batchMsg, 0, len(children))
 		for _, c := range children {
-			m.send(p, c, wire(MsgShootdownFwd, op, 0))
+			msgs = append(msgs, batchMsg{to: c, msg: wire(MsgShootdownFwd, op, 0)})
 		}
+		m.sendMany(p, msgs)
 		return
 	}
 	m.send(p, src, wire(MsgShootdownAck, op, 1))
@@ -302,9 +308,11 @@ func (m *Monitor) handlePrepare(p *sim.Proc, src topo.CoreID, op Op, aux uint64,
 	if len(children) > 0 && !isFwd {
 		m.fwd[op.ID] = &fwdState{parent: src, op: op, pending: corePending(children), allYes: ok, ackKind: MsgVote, deadline: m.fwdDeadline(p)}
 		m.fwdBegin(p, op)
+		msgs := make([]batchMsg, 0, len(children))
 		for _, c := range children {
-			m.send(p, c, wire(MsgPrepareFwd, op, 0))
+			msgs = append(msgs, batchMsg{to: c, msg: wire(MsgPrepareFwd, op, 0)})
 		}
+		m.sendMany(p, msgs)
 		return
 	}
 	vote := uint64(0)
@@ -333,13 +341,15 @@ func (m *Monitor) handleVote(p *sim.Proc, src topo.CoreID, op Op, aux uint64) {
 		m.net.Eng.Tracer().Emit(uint64(p.Now()), trace.Instant, trace.SubMonitor, int32(m.Core), "monitor.decide", op.ID, arg)
 		st.pending = planPending(st.plan)
 		st.deadline = m.opDeadline(p, st.recoveries)
+		msgs := make([]batchMsg, 0, len(st.plan))
 		for _, s := range st.plan {
 			aux := s.mask
 			if st.decision {
 				aux |= auxCommit
 			}
-			m.send(p, s.to, wire(MsgDecision, op, aux))
+			msgs = append(msgs, batchMsg{to: s.to, msg: wire(MsgDecision, op, aux)})
 		}
+		m.sendMany(p, msgs)
 		return
 	}
 	// Aggregate votes on behalf of children.
@@ -376,9 +386,11 @@ func (m *Monitor) handleDecision(p *sim.Proc, src topo.CoreID, op Op, aux uint64
 	if len(children) > 0 && !isFwd {
 		m.fwd[op.ID] = &fwdState{parent: src, op: op, pending: corePending(children), ackKind: MsgDecisionAck, deadline: m.fwdDeadline(p)}
 		m.fwdBegin(p, op)
+		msgs := make([]batchMsg, 0, len(children))
 		for _, c := range children {
-			m.send(p, c, wire(MsgDecisionFwd, op, aux&auxCommit))
+			msgs = append(msgs, batchMsg{to: c, msg: wire(MsgDecisionFwd, op, aux&auxCommit)})
 		}
+		m.sendMany(p, msgs)
 		return
 	}
 	m.send(p, src, wire(MsgDecisionAck, op, 1))

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"multikernel/internal/cache"
-	"multikernel/internal/memory"
 	"multikernel/internal/sim"
 	"multikernel/internal/topo"
 	"multikernel/internal/urpc"
@@ -240,13 +239,13 @@ const linkSlots = 16
 // linkBufLines fits a 1500-byte frame.
 const linkBufLines = 24
 
-// FrameLink is one direction of a URPC loopback connection.
+// FrameLink is one direction of a URPC loopback connection: a thin framing
+// layer over a urpc.BulkChannel, which supplies the shared buffer pool, the
+// descriptor ring and the line-granularity first-touch transfers. Receive
+// prefetching is on — frames are read as sequential pool scans, the case the
+// stride prefetcher exists for.
 type FrameLink struct {
-	sys   *cache.System
-	ch    *urpc.Channel
-	bufs  memory.Region
-	seq   uint64
-	sizes [linkSlots]int
+	bulk *urpc.BulkChannel
 }
 
 // NewFrameLink builds a frame channel from one core to another, with the
@@ -254,52 +253,32 @@ type FrameLink struct {
 func NewFrameLink(sys *cache.System, from, to topo.CoreID) *FrameLink {
 	home := sys.Machine().Socket(to)
 	return &FrameLink{
-		sys:  sys,
-		ch:   urpc.New(sys, from, to, urpc.Options{Slots: linkSlots, Home: int(home)}),
-		bufs: sys.Memory().AllocLines(linkSlots*linkBufLines, home),
+		bulk: urpc.NewBulk(sys, from, to, urpc.BulkOptions{
+			Slots:     linkSlots,
+			SlotLines: linkBufLines,
+			Home:      int(home),
+			Prefetch:  true,
+		}),
 	}
 }
 
 // Send writes the frame into the next pool buffer and sends its descriptor.
 func (l *FrameLink) Send(p *sim.Proc, f Frame) {
-	slot := l.seq % linkSlots
-	base := l.bufs.LineAt(int(slot) * linkBufLines)
-	var zero [memory.WordsPerLine]uint64
-	for i := 0; i*memory.LineSize < len(f); i++ {
-		l.sys.StoreLine(p, l.ch.Sender, base+memory.Addr(i*memory.LineSize), zero)
-	}
-	l.sys.Memory().StoreBytes(base, f)
-	l.sizes[slot] = len(f)
-	l.ch.Send(p, urpc.Message{l.seq, uint64(len(f))})
-	l.seq++
+	l.bulk.Send(p, f)
 }
 
 // Recv blocks until a frame arrives and reads it out of the pool.
 func (l *FrameLink) Recv(p *sim.Proc) Frame {
-	m := l.ch.Recv(p)
-	return l.readFrame(p, m)
+	return Frame(l.bulk.Recv(p))
 }
 
 // TryRecv polls for a frame.
 func (l *FrameLink) TryRecv(p *sim.Proc) (Frame, bool) {
-	m, ok := l.ch.TryRecv(p)
+	b, ok := l.bulk.TryRecv(p)
 	if !ok {
 		return nil, false
 	}
-	return l.readFrame(p, m), true
-}
-
-func (l *FrameLink) readFrame(p *sim.Proc, m urpc.Message) Frame {
-	slot := m[0] % linkSlots
-	size := int(m[1])
-	base := l.bufs.LineAt(int(slot) * linkBufLines)
-	// Snapshot the payload first: once the descriptor is consumed the sender
-	// may reuse the slot, and the receiver's reads logically precede that.
-	f := Frame(l.sys.Memory().LoadBytes(base, size))
-	for i := 0; i*memory.LineSize < size; i++ {
-		l.sys.LoadLine(p, l.ch.Receiver, base+memory.Addr(i*memory.LineSize))
-	}
-	return f
+	return Frame(b), true
 }
 
 // ConnectLoopback joins two stacks with a pair of frame links and returns a

@@ -1,0 +1,101 @@
+package urpc
+
+import (
+	"testing"
+
+	"multikernel/internal/sim"
+	"multikernel/internal/topo"
+)
+
+// Host microbenchmarks for the v2 transport. Besides the usual ns/op (host
+// cost of simulating the workload), each reports a deterministic
+// simulated-cycle metric — identical on every run and every machine — which
+// the CI overhead gate pins against a committed baseline: a transport change
+// that silently regresses per-message or per-line cost fails CI even though
+// all functional tests still pass.
+
+// pipelinedRun moves msgs messages over a one-hop channel on the 8×4 machine
+// with both sides in v2 burst mode and returns the virtual cycles consumed.
+func pipelinedRun(msgs int) sim.Time {
+	e, sys := newSys(topo.AMD8x4())
+	ch := New(sys, 0, 4, Options{Home: -1, Slots: DefaultSlots, Prefetch: true})
+	var start, end sim.Time
+	e.Spawn("recv", func(p *sim.Proc) {
+		buf := make([]Message, DefaultSlots)
+		for got := 0; got < msgs; {
+			n := ch.RecvAll(p, buf)
+			if n == 0 {
+				p.Sleep(pollGap)
+			}
+			got += n
+		}
+		end = p.Now()
+	})
+	e.Spawn("send", func(p *sim.Proc) {
+		start = p.Now()
+		batch := make([]Message, DefaultSlots)
+		for sent := 0; sent < msgs; {
+			n := len(batch)
+			if n > msgs-sent {
+				n = msgs - sent
+			}
+			for i := range batch[:n] {
+				batch[i] = Message{uint64(sent + i)}
+			}
+			ch.SendBatch(p, batch[:n])
+			sent += n
+		}
+	})
+	e.Run()
+	return end - start
+}
+
+func BenchmarkURPCPipelined(b *testing.B) {
+	const msgs = 500
+	var cycles sim.Time
+	for i := 0; i < b.N; i++ {
+		cycles = pipelinedRun(msgs)
+	}
+	b.ReportMetric(float64(cycles)/msgs, "simcycles/msg")
+}
+
+// bulkRun moves reps frame-sized payloads through a one-hop bulk channel on
+// the 8×4 machine and returns the virtual cycles consumed.
+func bulkRun(reps int) sim.Time {
+	e, sys := newSys(topo.AMD8x4())
+	bulk := NewBulk(sys, 0, 4, BulkOptions{
+		Slots: 8, SlotLines: DefaultBulkSlotLines, Home: -1, Prefetch: true,
+	})
+	payload := make([]byte, bulk.SlotBytes())
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var start, end sim.Time
+	e.Spawn("recv", func(p *sim.Proc) {
+		for got := 0; got < reps; {
+			if _, ok := bulk.TryRecv(p); ok {
+				got++
+				continue
+			}
+			p.Sleep(pollGap)
+		}
+		end = p.Now()
+	})
+	e.Spawn("send", func(p *sim.Proc) {
+		start = p.Now()
+		for r := 0; r < reps; r++ {
+			bulk.Send(p, payload)
+		}
+	})
+	e.Run()
+	return end - start
+}
+
+func BenchmarkBulkTransfer(b *testing.B) {
+	const reps = 50
+	var cycles sim.Time
+	for i := 0; i < b.N; i++ {
+		cycles = bulkRun(reps)
+	}
+	b.ReportMetric(float64(cycles)/(reps*DefaultBulkSlotLines), "simcycles/line")
+}

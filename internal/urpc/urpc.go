@@ -73,6 +73,7 @@ type Channel struct {
 	sendAcked uint64 // sender's view of receiver progress (from the ack line)
 	published uint64 // receiver progress as last written to the ack line
 	prefetch  bool
+	holdAck   bool // receive paths defer ack publication to ackConsumed
 
 	blocked *sim.Proc // receiver parked awaiting notification, if any
 	dead    bool      // peer declared fail-stopped; sends are refused
@@ -157,8 +158,12 @@ func (c *Channel) CanSend() bool {
 	return c.sendSeq-c.sendAcked < uint64(c.slots)
 }
 
-// Send transmits msg, blocking (polling the ack line) while the ring is full.
-func (c *Channel) Send(p *sim.Proc, msg Message) {
+// waitSpace blocks until the ring has space. The ack line is touched only
+// when the sender's cached view (sendAcked) shows the ring full: a view that
+// already proves space skips the coherence round trip entirely, so a
+// pipelined sender reads the ack line at most once per ring traversal rather
+// than once per send.
+func (c *Channel) waitSpace(p *sim.Proc) {
 	for c.sendSeq-c.sendAcked >= uint64(c.slots) {
 		c.stats.FullStall++
 		c.mFullStall.Inc()
@@ -168,7 +173,48 @@ func (c *Channel) Send(p *sim.Proc, msg Message) {
 			p.Sleep(pollGap)
 		}
 	}
+}
+
+// Send transmits msg, blocking (polling the ack line) while the ring is full.
+func (c *Channel) Send(p *sim.Proc, msg Message) {
+	c.waitSpace(p)
 	c.transmit(p, msg)
+}
+
+// SendBatch transmits msgs as pipelined bursts: up to a ring's worth of
+// messages is written back-to-back behind a single setup charge and a single
+// (stale-view) space check, and a parked receiver gets one coalesced wakeup
+// per burst instead of one per message. This is the paper's "cost when
+// pipelining" regime — the per-message cost approaches the slot write itself
+// as the in-flight depth approaches the ring size.
+func (c *Channel) SendBatch(p *sim.Proc, msgs []Message) {
+	rec := c.eng.Tracer()
+	for len(msgs) > 0 {
+		c.waitSpace(p)
+		n := c.slots - int(c.sendSeq-c.sendAcked)
+		if n > len(msgs) {
+			n = len(msgs)
+		}
+		rec.Emit(uint64(p.Now()), trace.Begin, trace.SubURPC, int32(c.Sender), "urpc.send", 0, uint64(n))
+		p.Sleep(sendSetupCost)
+		for _, m := range msgs[:n] {
+			c.pushSlot(p, m)
+		}
+		c.notify(p)
+		rec.Emit(uint64(p.Now()), trace.End, trace.SubURPC, int32(c.Sender), "urpc.send", 0, 0)
+		msgs = msgs[n:]
+	}
+}
+
+// InFlight returns the number of sent-but-unacknowledged messages under the
+// sender's current (possibly stale) view of receiver progress.
+func (c *Channel) InFlight() int { return int(c.sendSeq - c.sendAcked) }
+
+// RefreshAck re-reads the receiver's published progress from the ack line,
+// paying the coherence round trip. Windowed senders call it to learn about
+// drained slots without transmitting.
+func (c *Channel) RefreshAck(p *sim.Proc) {
+	c.sendAcked = c.sys.Load(p, c.Sender, c.ack.Base)
 }
 
 // SendTimeout is Send with a deadline: if the ring stays full past timeout
@@ -213,6 +259,14 @@ func (c *Channel) transmit(p *sim.Proc, msg Message) {
 	rec := c.eng.Tracer()
 	rec.Emit(uint64(p.Now()), trace.Begin, trace.SubURPC, int32(c.Sender), "urpc.send", 0, 0)
 	p.Sleep(sendSetupCost)
+	c.pushSlot(p, msg)
+	c.notify(p)
+	rec.Emit(uint64(p.Now()), trace.End, trace.SubURPC, int32(c.Sender), "urpc.send", 0, 0)
+}
+
+// pushSlot writes msg into the next slot; the caller has verified ring space
+// and charged the setup cost.
+func (c *Channel) pushSlot(p *sim.Proc, msg Message) {
 	var line [memory.WordsPerLine]uint64
 	copy(line[:], msg[:])
 	line[PayloadWords] = c.sendSeq + 1 // sequence word written last
@@ -220,18 +274,23 @@ func (c *Channel) transmit(p *sim.Proc, msg Message) {
 	c.sendSeq++
 	c.stats.Sent++
 	c.mSent.Inc()
-	rec.Emit(uint64(p.Now()), trace.FlowOut, trace.SubURPC, int32(c.Sender), "urpc.msg", c.id<<32|c.sendSeq, 0)
-	if c.blocked != nil {
-		// The receiver exhausted its polling window and asked its monitor to
-		// notify it; model the notification as an IPI-cost wakeup (§5.2).
-		w := c.blocked
-		c.blocked = nil
-		c.stats.Notifies++
-		c.mNotifies.Inc()
-		p.Sleep(c.sys.Machine().Costs.IPIDeliver)
-		p.Unpark(w)
+	c.eng.Tracer().Emit(uint64(p.Now()), trace.FlowOut, trace.SubURPC, int32(c.Sender), "urpc.msg", c.id<<32|c.sendSeq, 0)
+}
+
+// notify wakes a parked receiver, if any. The receiver exhausted its polling
+// window and asked its monitor to notify it; model the notification as an
+// IPI-cost wakeup (§5.2). Batched sends call this once per burst, so a
+// receiver behind on a pipelined stream pays one wakeup, not one per message.
+func (c *Channel) notify(p *sim.Proc) {
+	if c.blocked == nil {
+		return
 	}
-	rec.Emit(uint64(p.Now()), trace.End, trace.SubURPC, int32(c.Sender), "urpc.send", 0, 0)
+	w := c.blocked
+	c.blocked = nil
+	c.stats.Notifies++
+	c.mNotifies.Inc()
+	p.Sleep(c.sys.Machine().Costs.IPIDeliver)
+	p.Unpark(w)
 }
 
 // TryRecv polls once; it returns the next message if one is ready.
@@ -259,15 +318,68 @@ func (c *Channel) TryRecv(p *sim.Proc) (Message, bool) {
 	// Publish progress so the sender can reuse slots. Writing every
 	// half-ring amortizes the reverse-direction coherence traffic; an idle
 	// ring publishes immediately so a stalled sender always makes progress.
-	if c.recvSeq-c.published >= uint64(c.slots)/2 || !c.Pending() {
-		c.sys.Store(p, c.Receiver, c.ack.Base, c.recvSeq)
-		c.published = c.recvSeq
+	if !c.holdAck {
+		c.ackConsumed(p)
 	}
 	if c.prefetch && c.recvSeq > 0 {
 		c.sys.Prefetch(p, c.Receiver, c.slotAddr(c.recvSeq))
 	}
 	rec.Emit(uint64(p.Now()), trace.End, trace.SubURPC, int32(c.Receiver), "urpc.recv", 0, 0)
 	return msg, true
+}
+
+// RecvAll drains every ready message into buf and returns how many it
+// delivered. The poll-loop check cost is charged once per call, not once per
+// message, and receiver progress is published to the ack line at most once
+// per drained burst — the receive-side half of the pipelining regime. A
+// return of 0 means the ring was empty (only the check cost was paid).
+func (c *Channel) RecvAll(p *sim.Proc, buf []Message) int {
+	t0 := uint64(p.Now())
+	p.Sleep(recvCheckCost)
+	rec := c.eng.Tracer()
+	n := 0
+	for n < len(buf) {
+		slot := c.slotAddr(c.recvSeq)
+		seqWord := slot + memory.Addr(PayloadWords*8)
+		if c.sys.Load(p, c.Receiver, seqWord) != c.recvSeq+1 {
+			break
+		}
+		if n == 0 {
+			// Retroactive span open, as in TryRecv: empty polls leave no slice.
+			rec.Emit(t0, trace.Begin, trace.SubURPC, int32(c.Receiver), "urpc.recv", 0, 0)
+		}
+		line := c.sys.LoadLine(p, c.Receiver, slot)
+		copy(buf[n][:], line[:PayloadWords])
+		p.Sleep(recvCopyCost)
+		c.recvSeq++
+		c.stats.Received++
+		c.mReceived.Inc()
+		rec.Emit(uint64(p.Now()), trace.FlowIn, trace.SubURPC, int32(c.Receiver), "urpc.msg", c.id<<32|c.recvSeq, 0)
+		if c.prefetch {
+			c.sys.Prefetch(p, c.Receiver, c.slotAddr(c.recvSeq))
+		}
+		n++
+	}
+	if n > 0 {
+		if !c.holdAck {
+			c.ackConsumed(p)
+		}
+		rec.Emit(uint64(p.Now()), trace.End, trace.SubURPC, int32(c.Receiver), "urpc.recv", 0, uint64(n))
+	}
+	return n
+}
+
+// ackConsumed publishes receiver progress to the ack line, amortized to one
+// reverse-direction store per half-ring (an idle ring publishes immediately so
+// a stalled sender always makes progress). The ordinary receive paths call it
+// inline; channels constructed with holdAck (bulk descriptor rings) call it
+// only after the dequeued descriptor's external payload has been consumed,
+// because for them the ack is the slot-reuse grant.
+func (c *Channel) ackConsumed(p *sim.Proc) {
+	if c.recvSeq-c.published >= uint64(c.slots)/2 || !c.Pending() {
+		c.sys.Store(p, c.Receiver, c.ack.Base, c.recvSeq)
+		c.published = c.recvSeq
+	}
 }
 
 // Recv polls until a message arrives. It never blocks the simulated core in
