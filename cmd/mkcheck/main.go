@@ -1,0 +1,138 @@
+// Command mkcheck runs the schedule-exploration model checker: each seed
+// re-runs the workloads under seeded perturbations of the simulator's event
+// queue (bounded tie-break reordering and small wake jitter) plus optional
+// randomized fault schedules, and validates the MOESI coherence invariants,
+// the URPC transport invariants (FIFO exactly-once, no slot reuse before
+// ack, ack conservation) and kvstore linearizability against the recorded
+// trace.
+//
+// Usage:
+//
+//	mkcheck [-seeds N] [-seed-base B] [-depth D] [-jitter J] [-faults]
+//	        [-workloads kv,urpc,monitor] [-parallel N] [-no-shrink] [-v]
+//	mkcheck -workloads W -replay SCRIPT -seed-base SEED [-faults]
+//
+// On failure, mkcheck shrinks the first failing run's perturbation list by
+// delta debugging to a 1-minimal script and prints a ready-to-paste -replay
+// invocation, then exits 1. The sweep is deterministic: the same flags always
+// explore the same schedules, regardless of -parallel.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"multikernel/internal/check"
+	"multikernel/internal/harness"
+	"multikernel/internal/sim"
+)
+
+func main() {
+	var (
+		seeds    = flag.Int("seeds", 20, "number of seeds per workload")
+		seedBase = flag.Uint64("seed-base", 1, "first seed (or the seed for -replay)")
+		depth    = flag.Int("depth", 64, "max perturbations per run")
+		jitter   = flag.Uint64("jitter", uint64(check.DefaultMaxJitter), "max wake jitter in cycles")
+		faults   = flag.Bool("faults", false, "arm a seeded fault schedule per run")
+		wls      = flag.String("workloads", strings.Join(check.WorkloadNames(), ","), "comma-separated workloads")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker threads")
+		noShrink = flag.Bool("no-shrink", false, "skip minimizing failing runs")
+		replay   = flag.String("replay", "", "replay one perturbation script (\"none\" or N:jitter:pri,...)")
+		verbose  = flag.Bool("v", false, "print every run, not just failures")
+	)
+	flag.Parse()
+	harness.SetParallelism(*parallel)
+
+	var names []string
+	for _, w := range strings.Split(*wls, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			names = append(names, w)
+		}
+	}
+
+	if *replay != "" {
+		script, err := check.ParseScript(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mkcheck:", err)
+			os.Exit(2)
+		}
+		if len(names) != 1 {
+			fmt.Fprintln(os.Stderr, "mkcheck: -replay needs exactly one -workloads entry")
+			os.Exit(2)
+		}
+		r := check.RunOne(check.RunConfig{Workload: names[0], Seed: *seedBase, Script: script, Faults: *faults})
+		report(r, *verbose)
+		if r.Failed() {
+			os.Exit(1)
+		}
+		fmt.Printf("replay ok: %s seed %d, %d perturbations applied\n", r.Workload, r.Seed, len(r.Applied))
+		return
+	}
+
+	seedList := make([]uint64, *seeds)
+	for i := range seedList {
+		seedList[i] = *seedBase + uint64(i)
+	}
+	start := time.Now()
+	results := check.Run(check.Config{
+		Workloads: names,
+		Seeds:     seedList,
+		Depth:     *depth,
+		MaxJitter: sim.Time(*jitter),
+		Faults:    *faults,
+	})
+
+	failed := 0
+	var firstFail *check.Result
+	for i := range results {
+		r := results[i]
+		if r.Failed() {
+			failed++
+			if firstFail == nil {
+				firstFail = &results[i]
+			}
+		}
+		report(r, *verbose)
+	}
+	fmt.Printf("mkcheck: %d runs (%d workloads x %d seeds, depth %d, faults %v) in %.1fs: %d failed\n",
+		len(results), len(names), len(seedList), *depth, *faults, time.Since(start).Seconds(), failed)
+
+	if firstFail != nil {
+		if !*noShrink {
+			cfg := check.RunConfig{Workload: firstFail.Workload, Seed: firstFail.Seed,
+				Depth: *depth, MaxJitter: sim.Time(*jitter), Faults: *faults}
+			min := check.Shrink(cfg, firstFail.Applied)
+			fmt.Printf("shrunk %s seed %d from %d to %d perturbations\n",
+				firstFail.Workload, firstFail.Seed, len(firstFail.Applied), len(min))
+			fmt.Printf("reproduce with:\n  mkcheck -workloads %s -seed-base %d -replay %s%s\n",
+				firstFail.Workload, firstFail.Seed, check.FormatScript(min), faultFlag(*faults))
+		}
+		os.Exit(1)
+	}
+}
+
+func report(r check.Result, verbose bool) {
+	if !r.Failed() {
+		if verbose {
+			fmt.Printf("ok   %-8s seed %-4d %d perturbations, %d events\n",
+				r.Workload, r.Seed, len(r.Applied), r.Events)
+		}
+		return
+	}
+	fmt.Printf("FAIL %-8s seed %-4d %d perturbations (%s)\n",
+		r.Workload, r.Seed, len(r.Applied), check.FormatScript(r.Applied))
+	for _, v := range r.Violations {
+		fmt.Printf("     %s\n", v)
+	}
+}
+
+func faultFlag(on bool) string {
+	if on {
+		return " -faults"
+	}
+	return ""
+}

@@ -9,6 +9,7 @@ import (
 	"multikernel/internal/memory"
 	"multikernel/internal/sim"
 	"multikernel/internal/topo"
+	"multikernel/internal/trace"
 	"multikernel/internal/urpc"
 )
 
@@ -71,6 +72,23 @@ func (kv *KVStore) Select(p *sim.Proc, key uint64) (uint64, bool) {
 	return got, true
 }
 
+// Update executes an UPDATE by primary key, charging parse, index search and
+// the row store through the coherence model. It reports whether the key
+// existed (UPDATE of a missing row matches nothing).
+func (kv *KVStore) Update(p *sim.Proc, key, val uint64) bool {
+	kv.Queries++
+	p.Sleep(kvParseCost)
+	i := sort.Search(len(kv.index), func(j int) bool { return kv.index[j] >= key })
+	p.Sleep(sim.Time(16 * bits(len(kv.index))))
+	if i >= len(kv.index) || kv.index[i] != key {
+		return false
+	}
+	p.Sleep(kvRowCost)
+	kv.sys.Store(p, kv.core, kv.rows.LineAt(i), val)
+	kv.vals[key] = val
+	return true
+}
+
 // SelectRange scans [lo, hi) and returns the number of matching rows.
 func (kv *KVStore) SelectRange(p *sim.Proc, lo, hi uint64) int {
 	kv.Queries++
@@ -96,8 +114,9 @@ func bits(n int) int {
 
 // Request opcodes, carried in word 2 of the request message.
 const (
-	kvOpPoint = iota // point SELECT: {key}
-	kvOpRange        // range SELECT over the bulk channel: {lo, hi}
+	kvOpPoint  = iota // point SELECT: {key}
+	kvOpRange         // range SELECT over the bulk channel: {lo, hi}
+	kvOpUpdate        // point UPDATE: {key, val}
 )
 
 // kvBulkSlotLines sizes one bulk-channel slot: 64 lines carry 512 row values
@@ -165,6 +184,13 @@ func (s *KVService) loop(p *sim.Proc) {
 				case kvOpRange:
 					cnt := s.serveRange(p, i, m[0], m[1])
 					replies = append(replies, urpc.Message{uint64(cnt), 1, kvOpRange})
+				case kvOpUpdate:
+					ok := s.kv.Update(p, m[0], m[1])
+					f := uint64(0)
+					if ok {
+						f = 1
+					}
+					replies = append(replies, urpc.Message{m[1], f, kvOpUpdate})
 				default:
 					v, found := s.kv.Select(p, m[0])
 					f := uint64(0)
@@ -226,11 +252,44 @@ type KVClient struct {
 }
 
 // Select performs a synchronous remote SELECT.
+//
+// When tracing is on, the call is bracketed by "kv.select" async events so
+// the linearizability checker can reconstruct the operation history from the
+// trace alone: ID is serial<<20|key (keys are assumed < 2^20) and the end
+// Arg packs the result as 2*value+found.
 func (c *KVClient) Select(p *sim.Proc, key uint64) (uint64, bool) {
+	rec := c.svc.eng.Tracer()
+	var id uint64
+	if rec != nil {
+		id = c.svc.eng.Serial()<<20 | key
+		rec.Emit(uint64(p.Now()), trace.AsyncBegin, trace.SubApp, int32(c.req.Sender), "kv.select", id, 0)
+	}
 	c.req.Send(p, urpc.Message{key})
 	c.svc.eng.Wake(c.svc.proc) // notify a parked service
 	m := c.rsp.Recv(p)
+	if rec != nil {
+		rec.Emit(uint64(p.Now()), trace.AsyncEnd, trace.SubApp, int32(c.req.Sender), "kv.select", id, 2*m[0]+m[1])
+	}
 	return m[0], m[1] == 1
+}
+
+// Update performs a synchronous remote UPDATE, reporting whether the key
+// existed. Traced as "kv.update" async events (ID as in Select; the begin
+// Arg carries the new value, the end Arg the applied flag).
+func (c *KVClient) Update(p *sim.Proc, key, val uint64) bool {
+	rec := c.svc.eng.Tracer()
+	var id uint64
+	if rec != nil {
+		id = c.svc.eng.Serial()<<20 | key
+		rec.Emit(uint64(p.Now()), trace.AsyncBegin, trace.SubApp, int32(c.req.Sender), "kv.update", id, val)
+	}
+	c.req.Send(p, urpc.Message{key, val, kvOpUpdate})
+	c.svc.eng.Wake(c.svc.proc)
+	m := c.rsp.Recv(p)
+	if rec != nil {
+		rec.Emit(uint64(p.Now()), trace.AsyncEnd, trace.SubApp, int32(c.req.Sender), "kv.update", id, m[1])
+	}
+	return m[1] == 1
 }
 
 // SelectMany pipelines point SELECTs: keys go out as vectored batches sized

@@ -76,6 +76,66 @@ const forwardLat = 90
 
 func (l *line) holds(c topo.CoreID) bool { return l.holders&(1<<uint(c)) != 0 }
 
+func (l *line) view() LineView { return LineView{Holders: l.holders, Owner: l.owner, Dirty: l.dirty} }
+
+// LineView is an audit-time snapshot of one line's directory entry.
+type LineView struct {
+	Holders uint64      // bitmask of cores with a valid copy
+	Owner   topo.CoreID // core in M/O/E state, or -1
+	Dirty   bool        // memory is stale; the owner holds the only current data
+}
+
+// Reason classifies a directory transition reported to an Audit hook.
+type Reason uint8
+
+const (
+	// AuditFillMem: a fill served from memory (no cached copy was current).
+	AuditFillMem Reason = iota
+	// AuditFillShared: a fill served from memory while clean sharers exist.
+	AuditFillShared
+	// AuditFillOwner: a fill forwarded from the owning cache.
+	AuditFillOwner
+	// AuditUpgrade: a write upgrade that invalidated all other copies;
+	// probes carries the probe fan-out.
+	AuditUpgrade
+	// AuditDirty: the owner's first store dirtied a clean line (silent E→M
+	// upgrade, or the write completing an ownership acquisition).
+	AuditDirty
+	// AuditFlush: a clflush-style eviction of one core's copy.
+	AuditFlush
+	// AuditDMA: a non-coherent device write invalidated every cached copy.
+	AuditDMA
+)
+
+func (r Reason) String() string {
+	switch r {
+	case AuditFillMem:
+		return "fill_mem"
+	case AuditFillShared:
+		return "fill_shared"
+	case AuditFillOwner:
+		return "fill_owner"
+	case AuditUpgrade:
+		return "upgrade"
+	case AuditDirty:
+		return "dirty"
+	case AuditFlush:
+		return "flush"
+	case AuditDMA:
+		return "dma"
+	}
+	return "?"
+}
+
+// Audit observes every MOESI directory transition: the schedule-exploration
+// checker (internal/check) installs one to verify single-owner, stale-read
+// and probe-conservation invariants on each step. The hook runs inline on
+// coherence paths, so implementations must be cheap and must not re-enter
+// the cache system; a nil audit (the default) costs one predicted branch.
+type Audit interface {
+	Transition(id memory.LineID, r Reason, core topo.CoreID, before, after LineView, probes int)
+}
+
 // Stats are per-core access counters.
 type Stats struct {
 	Hits         uint64
@@ -125,6 +185,9 @@ type System struct {
 	// counts; the registry samples their sums lazily at snapshot time.
 	fillHist   *stats.Histogram
 	fanoutHist *stats.Histogram
+
+	// audit, when non-nil, observes every directory transition (SetAudit).
+	audit Audit
 }
 
 // maxInflightStores is the per-core store-miss MSHR budget.
@@ -179,6 +242,18 @@ func (s *System) sumStats(field func(*Stats) uint64) uint64 {
 
 // Engine returns the simulation engine the system runs on.
 func (s *System) Engine() *sim.Engine { return s.eng }
+
+// SetAudit installs (or, with nil, removes) a coherence-transition audit.
+func (s *System) SetAudit(a Audit) { s.audit = a }
+
+// ForEachLine visits every directory entry. Iteration order is unspecified
+// (it walks the line map); intended for post-run invariant sweeps, never for
+// anything that feeds the event queue.
+func (s *System) ForEachLine(fn func(id memory.LineID, v LineView)) {
+	for id, l := range s.lines {
+		fn(id, l.view())
+	}
+}
 
 // SetCoreStall injects an owner-stall fault: core c's cache controller stops
 // responding to coherence traffic until the given virtual time. Extending an
@@ -314,10 +389,16 @@ func (s *System) chargeFill(dst topo.CoreID, srcSocket topo.SocketID) {
 // latency. The line's transfer queue must already be held.
 func (s *System) fill(c topo.CoreID, a memory.Addr, l *line) sim.Time {
 	s.stats[c].Misses++
+	var before LineView
+	if s.audit != nil {
+		before = l.view()
+	}
+	reason := AuditFillMem
 	var lat sim.Time
 	src := "cache.fill_mem"
 	if l.owner >= 0 && l.owner != c {
 		src = "cache.fill_owner"
+		reason = AuditFillOwner
 		// Fetch from the owning cache; MOESI keeps the dirty copy in-cache
 		// (owner degrades M->O) rather than writing back. On a
 		// HyperTransport-style fabric the request is routed via the line's
@@ -332,6 +413,7 @@ func (s *System) fill(c topo.CoreID, a memory.Addr, l *line) sim.Time {
 	} else if l.holders != 0 && !l.holds(c) {
 		// Shared copies exist but no owner: memory is current.
 		src = "cache.fill_shared"
+		reason = AuditFillShared
 		home := s.mem.Home(a)
 		lat = s.mach.MemLat(c, home)
 		lat += s.linkPenalty(c, home, lat)
@@ -349,6 +431,9 @@ func (s *System) fill(c topo.CoreID, a memory.Addr, l *line) sim.Time {
 		// ownership (now O with sharers).
 		l.owner = c
 		l.dirty = false
+	}
+	if s.audit != nil {
+		s.audit.Transition(a.Line(), reason, c, before, l.view(), 0)
 	}
 	s.fillHist.Observe(uint64(lat))
 	s.eng.Tracer().Emit(uint64(s.eng.Now()), trace.Instant, trace.SubCache, int32(c), src, 0, uint64(lat))
@@ -374,6 +459,10 @@ func (s *System) invalidateOthers(c topo.CoreID, a memory.Addr, l *line) sim.Tim
 		return 0
 	}
 	s.stats[c].Upgrades++
+	var before LineView
+	if s.audit != nil {
+		before = l.view()
+	}
 	fanout := uint64(bits.OnesCount64(others))
 	s.fanoutHist.Observe(fanout)
 	s.eng.Tracer().Emit(uint64(s.eng.Now()), trace.Instant, trace.SubCache, int32(c), "cache.inval", 0, fanout)
@@ -397,10 +486,25 @@ func (s *System) invalidateOthers(c topo.CoreID, a memory.Addr, l *line) sim.Tim
 	}
 	l.holders = 1 << uint(c)
 	l.owner = c
+	if s.audit != nil {
+		s.audit.Transition(a.Line(), AuditUpgrade, c, before, l.view(), int(fanout))
+	}
 	if lat > 0 {
 		lat += s.homePenalty(c, a)
 	}
 	return lat
+}
+
+// markDirty sets the line dirty, reporting the clean→dirty flip to the audit
+// hook. Redundant stores to an already-dirty line are not transitions.
+func (s *System) markDirty(c topo.CoreID, a memory.Addr, l *line) {
+	if s.audit != nil && !l.dirty {
+		before := l.view()
+		l.dirty = true
+		s.audit.Transition(a.Line(), AuditDirty, c, before, l.view(), 0)
+		return
+	}
+	l.dirty = true
 }
 
 // Load reads the word at a from core c, charging coherence latency to p.
@@ -434,8 +538,12 @@ func (s *System) Load(p *sim.Proc, c topo.CoreID, a memory.Addr) uint64 {
 		}
 	}
 	l.xferStore = false
-	p.Sleep(lat)
-	l.res.Release()
+	// The reservation must drop even if c is fail-stopped mid-charge: the
+	// transfer is already at the directory and completes without the core.
+	func() {
+		defer l.res.Release()
+		p.Sleep(lat)
+	}()
 	return s.mem.LoadWord(a)
 }
 
@@ -457,7 +565,7 @@ func (s *System) Store(p *sim.Proc, c topo.CoreID, a memory.Addr, v uint64) {
 		// is about to be taken away, so the store must join the queue like
 		// any other requester rather than starving the rivals.
 		s.stats[c].Hits++
-		l.dirty = true
+		s.markDirty(c, a, l)
 		p.Sleep(s.mach.Costs.Store)
 		s.mem.StoreWord(a, v)
 		return
@@ -468,7 +576,7 @@ func (s *System) Store(p *sim.Proc, c topo.CoreID, a memory.Addr, v uint64) {
 		// reflects the in-flight transaction); the line is released when the
 		// transfer completes.
 		lat := s.ownershipLat(p, c, a, l)
-		l.dirty = true
+		s.markDirty(c, a, l)
 		l.xferStore = true
 		s.mem.StoreWord(a, v)
 		s.inflight[c]++
@@ -489,11 +597,17 @@ func (s *System) Store(p *sim.Proc, c topo.CoreID, a memory.Addr, v uint64) {
 	if waited && lat > handoffLat {
 		lat = handoffLat + s.dirDelay(a)
 	}
-	l.dirty = true
+	s.markDirty(c, a, l)
 	l.xferStore = true
-	p.Sleep(lat)
-	l.xferStore = false
-	l.res.Release()
+	// As in Load: release on the fail-stop unwind path too, or the line stays
+	// reserved by a corpse and every later requester parks forever.
+	func() {
+		defer func() {
+			l.xferStore = false
+			l.res.Release()
+		}()
+		p.Sleep(lat)
+	}()
 	s.mem.StoreWord(a, v)
 }
 
@@ -529,11 +643,16 @@ func (s *System) RMW(p *sim.Proc, c topo.CoreID, a memory.Addr, fn func(uint64) 
 	if waited && lat > handoffLat {
 		lat = handoffLat + s.dirDelay(a)
 	}
-	l.dirty = true
-	p.Sleep(lat)
-	v := fn(s.mem.LoadWord(a))
-	s.mem.StoreWord(a, v)
-	l.res.Release()
+	s.markDirty(c, a, l)
+	var v uint64
+	// Release on the fail-stop unwind path too; a lock word whose holder died
+	// mid-RMW must not wedge every later RMW on the line.
+	func() {
+		defer l.res.Release()
+		p.Sleep(lat)
+		v = fn(s.mem.LoadWord(a))
+		s.mem.StoreWord(a, v)
+	}()
 	return v
 }
 
@@ -584,18 +703,29 @@ func (s *System) Flush(p *sim.Proc, c topo.CoreID, a memory.Addr) {
 		p.Sleep(1)
 		return
 	}
+	var before LineView
+	if s.audit != nil {
+		before = l.view()
+	}
+	writeback := false
 	l.holders &^= 1 << uint(c)
 	if l.owner == c {
 		l.owner = -1
 		if l.dirty {
 			l.dirty = false
-			home := s.mem.Home(a)
-			if cs := s.mach.Socket(c); cs != home {
-				s.fab.Charge(cs, home, interconnect.DwordsData)
-			}
-			p.Sleep(s.mach.MemLat(c, s.mem.Home(a)))
-			return
+			writeback = true
 		}
+	}
+	if s.audit != nil {
+		s.audit.Transition(a.Line(), AuditFlush, c, before, l.view(), 0)
+	}
+	if writeback {
+		home := s.mem.Home(a)
+		if cs := s.mach.Socket(c); cs != home {
+			s.fab.Charge(cs, home, interconnect.DwordsData)
+		}
+		p.Sleep(s.mach.MemLat(c, s.mem.Home(a)))
+		return
 	}
 	p.Sleep(1)
 }
@@ -609,6 +739,10 @@ func (s *System) DMAWrite(a memory.Addr, b []byte, devSocket topo.SocketID) {
 	last := (a + memory.Addr(len(b)) - 1).Line()
 	for id := first; id <= last; id++ {
 		if l := s.lines[id]; l != nil {
+			var before LineView
+			if s.audit != nil {
+				before = l.view()
+			}
 			for h := topo.CoreID(0); int(h) < s.mach.NumCores(); h++ {
 				if l.holds(h) {
 					s.stats[h].Invalidated++
@@ -617,6 +751,9 @@ func (s *System) DMAWrite(a memory.Addr, b []byte, devSocket topo.SocketID) {
 			l.holders = 0
 			l.owner = -1
 			l.dirty = false
+			if s.audit != nil {
+				s.audit.Transition(id, AuditDMA, -1, before, l.view(), 0)
+			}
 		}
 		home := s.mem.Home(id.Base())
 		if home != devSocket {
@@ -634,9 +771,6 @@ func (s *System) CheckInvariants() {
 		}
 		if l.dirty && l.owner < 0 {
 			panic(fmt.Sprintf("cache: line %#x dirty without owner", id))
-		}
-		if l.owner < 0 && l.dirty {
-			panic(fmt.Sprintf("cache: line %#x dirty with no owner", id))
 		}
 	}
 }

@@ -1,0 +1,184 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"multikernel/internal/trace"
+)
+
+// KVOp is one client-observed kvstore operation, reconstructed from the
+// kv.select / kv.update async spans in a trace. Inv and Res are the
+// invocation and response times in virtual cycles; an op whose span never
+// ended (client killed, horizon reached) has Done=false and may or may not
+// have taken effect.
+type KVOp struct {
+	Key     uint64
+	Write   bool
+	Val     uint64 // write: value sent
+	RVal    uint64 // read: value returned
+	RFound  bool   // read: key present
+	Applied bool   // write: service reported the key existed and was updated
+	Inv     uint64
+	Res     uint64
+	Done    bool
+}
+
+func (op KVOp) String() string {
+	if op.Write {
+		if !op.Done {
+			return fmt.Sprintf("update(%d,%d)@%d..?", op.Key, op.Val, op.Inv)
+		}
+		return fmt.Sprintf("update(%d,%d)=%v@%d..%d", op.Key, op.Val, op.Applied, op.Inv, op.Res)
+	}
+	if !op.Done {
+		return fmt.Sprintf("select(%d)@%d..?", op.Key, op.Inv)
+	}
+	return fmt.Sprintf("select(%d)=(%d,%v)@%d..%d", op.Key, op.RVal, op.RFound, op.Inv, op.Res)
+}
+
+const kvKeyMask = 1<<20 - 1 // span ID is serial<<20|key
+
+// ExtractKVHistory rebuilds the operation history from a trace. The span ID
+// carries a unique serial plus the key; select ends encode 2*val+found,
+// update begins carry the value and update ends the applied flag.
+func ExtractKVHistory(events []trace.Event) []KVOp {
+	open := make(map[uint64]*KVOp)
+	var order []uint64 // span IDs in invocation order
+	for _, ev := range events {
+		if ev.Sub != trace.SubApp || (ev.Name != "kv.select" && ev.Name != "kv.update") {
+			continue
+		}
+		switch ev.Kind {
+		case trace.AsyncBegin:
+			op := &KVOp{Key: ev.ID & kvKeyMask, Inv: ev.At}
+			if ev.Name == "kv.update" {
+				op.Write = true
+				op.Val = ev.Arg
+			}
+			open[ev.ID] = op
+			order = append(order, ev.ID)
+		case trace.AsyncEnd:
+			op := open[ev.ID]
+			if op == nil {
+				continue // end without begin: tracing enabled mid-run
+			}
+			op.Done = true
+			op.Res = ev.At
+			if op.Write {
+				op.Applied = ev.Arg == 1
+			} else {
+				op.RVal = ev.Arg >> 1
+				op.RFound = ev.Arg&1 == 1
+			}
+		}
+	}
+	hist := make([]KVOp, 0, len(order))
+	for _, id := range order {
+		hist = append(hist, *open[id])
+	}
+	return hist
+}
+
+// CheckLinearizable decides whether a kvstore history is linearizable with
+// respect to a per-key register initialized from init (keys absent from init
+// read as not-found). Every operation touches a single key, so by locality
+// the full history is linearizable iff each key's subhistory is; each key is
+// checked independently with a Wing & Gong style search: repeatedly pick a
+// minimal operation (one invoked before every pending completed operation's
+// response), apply it to the model register, and backtrack on mismatch.
+// Incomplete operations may linearize at any point after their invocation or
+// never take effect at all; incomplete reads constrain nothing and are
+// dropped. States are memoized on (applied-set, register value), keeping the
+// search polynomial on the well-behaved histories the workloads generate.
+func CheckLinearizable(hist []KVOp, init map[uint64]uint64) []Violation {
+	byKey := make(map[uint64][]KVOp)
+	for _, op := range hist {
+		if !op.Done && !op.Write {
+			continue
+		}
+		byKey[op.Key] = append(byKey[op.Key], op)
+	}
+	keys := make([]uint64, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	var viol []Violation
+	for _, k := range keys {
+		ops := byKey[k]
+		if len(ops) > 63 {
+			viol = append(viol, Violation{Checker: "linearize", Msg: fmt.Sprintf(
+				"key %d: %d ops exceeds the 63-op search bound; shrink the workload", k, len(ops))})
+			continue
+		}
+		initVal, present := init[k]
+		if !linearizeKey(ops, initVal, present) {
+			viol = append(viol, Violation{Checker: "linearize", Msg: fmt.Sprintf(
+				"key %d: history not linearizable: %v", k, ops)})
+		}
+	}
+	return viol
+}
+
+type regState struct {
+	mask    uint64 // set of linearized ops
+	val     uint64
+	present bool
+}
+
+func linearizeKey(ops []KVOp, initVal uint64, present bool) bool {
+	var complete uint64
+	for i, op := range ops {
+		if op.Done {
+			complete |= 1 << uint(i)
+		}
+	}
+	memo := make(map[regState]bool)
+	var search func(mask, val uint64, pres bool) bool
+	search = func(mask, val uint64, pres bool) bool {
+		if mask&complete == complete {
+			return true // every completed op linearized; pending writes may simply never take effect
+		}
+		st := regState{mask, val, pres}
+		if done, ok := memo[st]; ok {
+			return done
+		}
+		memo[st] = false
+		// A minimal op is one invoked before every other pending completed
+		// op's response. Ops overlap freely; only a strict response-before-
+		// invocation gap forces an order.
+		minRes := ^uint64(0)
+		for i, op := range ops {
+			if mask&(1<<uint(i)) == 0 && op.Done && op.Res < minRes {
+				minRes = op.Res
+			}
+		}
+		for i, op := range ops {
+			if mask&(1<<uint(i)) != 0 || op.Inv > minRes {
+				continue
+			}
+			nv, np := val, pres
+			if op.Write {
+				applied := pres // the model: update hits iff the key is present
+				if op.Done && op.Applied != applied {
+					continue // observed outcome contradicts the model here
+				}
+				if applied {
+					nv = op.Val
+				}
+			} else {
+				if op.RFound != pres || (pres && op.RVal != val) {
+					continue // read observed a value the register never held here
+				}
+			}
+			if search(mask|1<<uint(i), nv, np) {
+				memo[st] = true
+				return true
+			}
+		}
+		return false
+	}
+	return search(0, initVal, present)
+}

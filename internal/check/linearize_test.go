@@ -1,0 +1,124 @@
+package check
+
+import (
+	"testing"
+
+	"multikernel/internal/trace"
+)
+
+// hand-built histories: r = complete read, w = complete write, times chosen
+// so the real-time order is unambiguous where it matters.
+func read(key, val uint64, found bool, inv, res uint64) KVOp {
+	return KVOp{Key: key, RVal: val, RFound: found, Inv: inv, Res: res, Done: true}
+}
+func write(key, val uint64, inv, res uint64) KVOp {
+	return KVOp{Key: key, Write: true, Val: val, Applied: true, Inv: inv, Res: res, Done: true}
+}
+
+func assertOK(t *testing.T, hist []KVOp, init map[uint64]uint64) {
+	t.Helper()
+	if v := CheckLinearizable(hist, init); len(v) != 0 {
+		t.Errorf("valid history rejected: %v", v)
+	}
+}
+
+func assertBad(t *testing.T, hist []KVOp, init map[uint64]uint64) {
+	t.Helper()
+	if v := CheckLinearizable(hist, init); len(v) == 0 {
+		t.Errorf("invalid history accepted: %v", hist)
+	}
+}
+
+func TestLinearizeSequentialHistory(t *testing.T) {
+	init := map[uint64]uint64{1: 10}
+	assertOK(t, []KVOp{
+		read(1, 10, true, 0, 5),
+		write(1, 20, 10, 15),
+		read(1, 20, true, 20, 25),
+	}, init)
+}
+
+func TestLinearizeStaleReadRejected(t *testing.T) {
+	init := map[uint64]uint64{1: 10}
+	// The write completed before the read was invoked, so the read may not
+	// return the old value.
+	assertBad(t, []KVOp{
+		write(1, 20, 0, 5),
+		read(1, 10, true, 10, 15),
+	}, init)
+}
+
+func TestLinearizeConcurrentReadsEitherOrder(t *testing.T) {
+	init := map[uint64]uint64{1: 10}
+	// Both reads overlap the write; one sees the old value, one the new.
+	assertOK(t, []KVOp{
+		write(1, 20, 0, 30),
+		read(1, 10, true, 5, 25),
+		read(1, 20, true, 6, 26),
+	}, init)
+}
+
+func TestLinearizeLostUpdateRejected(t *testing.T) {
+	init := map[uint64]uint64{1: 10}
+	// Two sequential writes, then a read of the first write's value: the
+	// second write's effect was lost.
+	assertBad(t, []KVOp{
+		write(1, 20, 0, 5),
+		write(1, 30, 10, 15),
+		read(1, 20, true, 20, 25),
+	}, init)
+}
+
+func TestLinearizeIncompleteWriteMayTakeEffect(t *testing.T) {
+	init := map[uint64]uint64{1: 10}
+	pending := KVOp{Key: 1, Write: true, Val: 20, Inv: 0} // no response
+	// A later read may see the pending write's value...
+	assertOK(t, []KVOp{pending, read(1, 20, true, 10, 15)}, init)
+	// ...or not.
+	assertOK(t, []KVOp{pending, read(1, 10, true, 10, 15)}, init)
+	// But it cannot see it and then un-see it.
+	assertBad(t, []KVOp{
+		pending,
+		read(1, 20, true, 10, 15),
+		read(1, 10, true, 20, 25),
+	}, init)
+}
+
+func TestLinearizeMissingKey(t *testing.T) {
+	// Reads of an absent key report not-found; an update of it is a no-op
+	// that reports Applied=false.
+	hist := []KVOp{
+		read(9, 0, false, 0, 5),
+		{Key: 9, Write: true, Val: 7, Applied: false, Inv: 10, Res: 15, Done: true},
+		read(9, 0, false, 20, 25),
+	}
+	assertOK(t, hist, map[uint64]uint64{})
+}
+
+func TestExtractKVHistory(t *testing.T) {
+	id := func(serial, key uint64) uint64 { return serial<<20 | key }
+	events := []trace.Event{
+		{At: 10, Kind: trace.AsyncBegin, Sub: trace.SubApp, Name: "kv.update", ID: id(1, 3), Arg: 42},
+		{At: 12, Kind: trace.AsyncBegin, Sub: trace.SubApp, Name: "kv.select", ID: id(2, 3), Arg: 0},
+		{At: 20, Kind: trace.AsyncEnd, Sub: trace.SubApp, Name: "kv.update", ID: id(1, 3), Arg: 1},
+		{At: 25, Kind: trace.AsyncEnd, Sub: trace.SubApp, Name: "kv.select", ID: id(2, 3), Arg: 2*42 + 1},
+		{At: 30, Kind: trace.AsyncBegin, Sub: trace.SubApp, Name: "kv.select", ID: id(3, 5), Arg: 0},
+	}
+	hist := ExtractKVHistory(events)
+	if len(hist) != 3 {
+		t.Fatalf("got %d ops, want 3: %v", len(hist), hist)
+	}
+	w, r, open := hist[0], hist[1], hist[2]
+	if !w.Write || w.Key != 3 || w.Val != 42 || !w.Applied || w.Inv != 10 || w.Res != 20 || !w.Done {
+		t.Errorf("bad write op: %+v", w)
+	}
+	if r.Write || r.Key != 3 || r.RVal != 42 || !r.RFound || r.Inv != 12 || r.Res != 25 {
+		t.Errorf("bad read op: %+v", r)
+	}
+	if open.Done || open.Key != 5 {
+		t.Errorf("bad open op: %+v", open)
+	}
+	if v := CheckLinearizable(hist, map[uint64]uint64{3: 7}); len(v) != 0 {
+		t.Errorf("extracted history should linearize: %v", v)
+	}
+}

@@ -1,0 +1,106 @@
+package check
+
+import (
+	"fmt"
+	"math/bits"
+
+	"multikernel/internal/cache"
+	"multikernel/internal/memory"
+	"multikernel/internal/topo"
+)
+
+// MOESIChecker is a cache.Audit hook that shadows the directory and validates
+// every transition against the MOESI invariants the simulator is supposed to
+// preserve:
+//
+//   - single owner: at most one core owns a line, and the owner holds it;
+//   - no stale read: a fill is never served from memory while some cache
+//     holds the line dirty (the dirty copy is the only current one);
+//   - probe conservation: a write upgrade probes exactly the other sharers
+//     it invalidates, and leaves the writer as the sole holder/owner;
+//   - store isolation: a line is dirtied only by its owner, only after every
+//     other copy has been invalidated;
+//   - continuity: every directory mutation arrives through the audit hook
+//     (the before-image of each transition must equal the shadow copy).
+//
+// Violations are collected, not fatal, so a perturbed run reports every
+// failure it encounters.
+type MOESIChecker struct {
+	shadow map[memory.LineID]cache.LineView
+	viol   []Violation
+}
+
+// NewMOESIChecker returns an empty checker; install with sys.SetAudit.
+func NewMOESIChecker() *MOESIChecker {
+	return &MOESIChecker{shadow: make(map[memory.LineID]cache.LineView)}
+}
+
+func (mc *MOESIChecker) fail(id memory.LineID, r cache.Reason, format string, args ...any) {
+	msg := fmt.Sprintf("line %d %s: ", id, r) + fmt.Sprintf(format, args...)
+	mc.viol = append(mc.viol, Violation{Checker: "moesi", Msg: msg})
+}
+
+// Transition implements cache.Audit.
+func (mc *MOESIChecker) Transition(id memory.LineID, r cache.Reason, core topo.CoreID, before, after cache.LineView, probes int) {
+	if sv, ok := mc.shadow[id]; ok && sv != before {
+		mc.fail(id, r, "shadow divergence: directory mutated outside audit (shadow %+v, before %+v)", sv, before)
+	}
+	mc.shadow[id] = after
+
+	if after.Owner >= 0 && after.Holders&(1<<uint(after.Owner)) == 0 {
+		mc.fail(id, r, "owner %d is not a holder (holders %#x)", after.Owner, after.Holders)
+	}
+	if after.Dirty && after.Owner < 0 {
+		mc.fail(id, r, "dirty line with no owner")
+	}
+
+	switch r {
+	case cache.AuditFillMem, cache.AuditFillShared:
+		if before.Dirty {
+			mc.fail(id, r, "stale read: core %d filled from memory while owner %d holds the line dirty", core, before.Owner)
+		}
+	case cache.AuditFillOwner:
+		if before.Owner < 0 {
+			mc.fail(id, r, "owner-forwarded fill with no owner")
+		} else if before.Owner == core {
+			mc.fail(id, r, "core %d forwarded the line to itself", core)
+		}
+	case cache.AuditUpgrade:
+		want := bits.OnesCount64(before.Holders &^ (1 << uint(core)))
+		if probes != want {
+			mc.fail(id, r, "probe conservation: invalidated %d sharers, sent %d probes", want, probes)
+		}
+		if after.Holders != 1<<uint(core) || after.Owner != core {
+			mc.fail(id, r, "core %d upgraded but is not sole holder/owner (holders %#x, owner %d)", core, after.Holders, after.Owner)
+		}
+	case cache.AuditDirty:
+		if before.Owner != core {
+			mc.fail(id, r, "core %d dirtied a line owned by %d", core, before.Owner)
+		}
+		if before.Holders&^(1<<uint(core)) != 0 {
+			mc.fail(id, r, "core %d dirtied the line with live sharers %#x", core, before.Holders)
+		}
+	}
+}
+
+// Finish runs the end-of-run sweep: the real directory must match the shadow
+// (nothing mutated a line without reporting it) and obey the steady-state
+// invariants. It returns every violation collected during the run plus any
+// found by the sweep. Call only after the engine has quiesced.
+func (mc *MOESIChecker) Finish(sys *cache.System) []Violation {
+	sys.ForEachLine(func(id memory.LineID, v cache.LineView) {
+		if sv, ok := mc.shadow[id]; ok && sv != v {
+			mc.viol = append(mc.viol, Violation{Checker: "moesi", Msg: fmt.Sprintf(
+				"line %d final sweep: shadow %+v != directory %+v", id, sv, v)})
+		}
+		if v.Owner >= 0 && v.Holders&(1<<uint(v.Owner)) == 0 {
+			mc.viol = append(mc.viol, Violation{Checker: "moesi", Msg: fmt.Sprintf(
+				"line %d final sweep: owner %d not a holder (holders %#x)", id, v.Owner, v.Holders)})
+		}
+		if v.Dirty && v.Owner < 0 {
+			mc.viol = append(mc.viol, Violation{Checker: "moesi", Msg: fmt.Sprintf(
+				"line %d final sweep: dirty with no owner", id)})
+		}
+	})
+	return mc.viol
+}

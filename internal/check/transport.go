@@ -1,0 +1,96 @@
+package check
+
+import (
+	"fmt"
+
+	"multikernel/internal/trace"
+)
+
+// chanState is the transport checker's model of one URPC channel,
+// reconstructed purely from trace events. Sequence numbers start at 1; all
+// three counters are "highest seen", and the protocol invariants say they may
+// only advance contiguously and in delivered ≤ sent, acked ≤ delivered order.
+type chanState struct {
+	slots     uint64 // ring capacity from the urpc.chan event; 0 = unknown
+	sent      uint64 // highest transmitted seq (urpc.msg FlowOut)
+	delivered uint64 // highest received seq (urpc.msg FlowIn)
+	acked     uint64 // last published ack-line value (urpc.ack)
+}
+
+// CheckTransport validates the URPC transport invariants over a recorded
+// trace. The recorder emits events in virtual-time order, so a single forward
+// scan sees every channel's sends, deliveries and ack publications in the
+// order the simulated cores performed them. Checked per channel:
+//
+//   - FIFO, exactly-once: deliveries are the contiguous sequence 1,2,3,...
+//     with no gap, duplicate or reordering, and never outrun transmissions;
+//   - no slot reuse before ack: a transmit of seq S overwrites the ring slot
+//     that held S-slots, which is only safe once the receiver has published
+//     an ack covering it (S ≤ acked + slots);
+//   - ack conservation: the published ack never exceeds what was actually
+//     delivered and never regresses (an over-published ack lets the sender
+//     overwrite an unread slot — the planted MutAckOverpublish defect).
+//
+// Channels created before tracing was enabled have unknown capacity; the
+// slot-reuse check is skipped for those, the rest still apply.
+func CheckTransport(events []trace.Event) []Violation {
+	chans := make(map[uint64]*chanState)
+	get := func(id uint64) *chanState {
+		st := chans[id]
+		if st == nil {
+			st = &chanState{}
+			chans[id] = st
+		}
+		return st
+	}
+	var viol []Violation
+	fail := func(id uint64, format string, args ...any) {
+		msg := fmt.Sprintf("channel %d: ", id>>32) + fmt.Sprintf(format, args...)
+		viol = append(viol, Violation{Checker: "transport", Msg: msg})
+	}
+	for _, ev := range events {
+		if ev.Sub != trace.SubURPC {
+			continue
+		}
+		switch ev.Name {
+		case "urpc.chan":
+			get(ev.ID).slots = ev.Arg
+		case "urpc.msg":
+			cid, seq := ev.ID&^uint64(0xffffffff), ev.ID&0xffffffff
+			st := get(cid)
+			switch ev.Kind {
+			case trace.FlowOut:
+				if seq != st.sent+1 {
+					fail(cid, "transmit gap: seq %d after %d", seq, st.sent)
+				}
+				if seq > st.sent {
+					st.sent = seq
+				}
+				if st.slots > 0 && seq > st.acked+st.slots {
+					fail(cid, "slot reuse before ack: transmitting seq %d with ack at %d on a %d-slot ring",
+						seq, st.acked, st.slots)
+				}
+			case trace.FlowIn:
+				if seq != st.delivered+1 {
+					fail(cid, "FIFO/exactly-once violation: delivered seq %d after %d", seq, st.delivered)
+				}
+				if seq > st.sent {
+					fail(cid, "delivered seq %d was never transmitted (sent %d)", seq, st.sent)
+				}
+				if seq > st.delivered {
+					st.delivered = seq
+				}
+			}
+		case "urpc.ack":
+			st := get(ev.ID)
+			if ev.Arg > st.delivered {
+				fail(ev.ID, "ack overpublished: ack line says %d delivered, receiver consumed %d", ev.Arg, st.delivered)
+			}
+			if ev.Arg < st.acked {
+				fail(ev.ID, "ack regressed: %d after %d", ev.Arg, st.acked)
+			}
+			st.acked = ev.Arg
+		}
+	}
+	return viol
+}

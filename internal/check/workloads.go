@@ -1,0 +1,324 @@
+package check
+
+import (
+	"fmt"
+
+	"multikernel/internal/apps"
+	"multikernel/internal/cache"
+	"multikernel/internal/caps"
+	"multikernel/internal/fault"
+	"multikernel/internal/kernel"
+	"multikernel/internal/monitor"
+	"multikernel/internal/sim"
+	"multikernel/internal/skb"
+	"multikernel/internal/topo"
+	"multikernel/internal/urpc"
+)
+
+// A workload builds a system on a fresh engine, drives it to completion under
+// whatever perturbations and faults the runner installed, and reports
+// liveness violations (work that failed to complete by the horizon). The
+// trace- and audit-based safety checkers run afterwards in RunOne; kvInit is
+// the initial store contents for the linearizability checker (nil when the
+// workload has no kvstore).
+type workload struct {
+	name string
+	run  func(e *sim.Engine, sys *cache.System, cfg RunConfig) (viol []Violation, kvInit map[uint64]uint64)
+}
+
+var workloads = []workload{
+	{"kv", runKVWorkload},
+	{"urpc", runURPCWorkload},
+	{"monitor", runMonitorWorkload},
+}
+
+// WorkloadNames lists the registered workloads in run order.
+func WorkloadNames() []string {
+	out := make([]string, len(workloads))
+	for i, wl := range workloads {
+		out[i] = wl.name
+	}
+	return out
+}
+
+func findWorkload(name string) (workload, bool) {
+	for _, wl := range workloads {
+		if wl.name == name {
+			return wl, true
+		}
+	}
+	return workload{}, false
+}
+
+// runKVWorkload drives three clients on three sockets through a mixed
+// select/update script against a kvstore service on core 0, then hands the
+// trace-reconstructed history to the linearizability checker. Every written
+// value is unique ((client+1)*1e6 + op index), so the checker can tell every
+// write's effect apart. Fault mode adds stalls and link degradations but no
+// kills: the service core's death would void the completion guarantee this
+// workload asserts.
+func runKVWorkload(e *sim.Engine, sys *cache.System, cfg RunConfig) ([]Violation, map[uint64]uint64) {
+	const (
+		rows    = 32
+		hotKeys = 4
+		opsPer  = 8
+		horizon = 120_000_000
+	)
+	kv := apps.NewKVStore(sys, 0, rows)
+	init := make(map[uint64]uint64, rows)
+	for k := uint64(0); k < rows; k++ {
+		init[k] = k*2654435761 + 1 // NewKVStore's seeding formula
+	}
+	svc := apps.NewKVService(e, kv)
+
+	type kvOp struct {
+		write bool
+		key   uint64
+		val   uint64
+	}
+	rng := sim.NewRNG(cfg.Seed ^ 0x6b76776f726b21)
+	clientCores := []topo.CoreID{1, 5, 10}
+	scripts := make([][]kvOp, len(clientCores))
+	for ci := range clientCores {
+		for i := 0; i < opsPer; i++ {
+			op := kvOp{key: uint64(rng.Intn(hotKeys))}
+			if rng.Uint64()%2 == 0 {
+				op.write = true
+				op.val = uint64(ci+1)*1_000_000 + uint64(i)
+			}
+			scripts[ci] = append(scripts[ci], op)
+		}
+	}
+	done := make([]bool, len(clientCores))
+	for ci, core := range clientCores {
+		cl := svc.Connect(core)
+		script := scripts[ci]
+		ci := ci
+		e.Spawn(fmt.Sprintf("kvclient%d", ci), func(p *sim.Proc) {
+			for _, op := range script {
+				if op.write {
+					cl.Update(p, op.key, op.val)
+				} else {
+					cl.Select(p, op.key)
+				}
+			}
+			done[ci] = true
+		})
+	}
+	if cfg.Faults {
+		spec := fault.Spec{
+			Stalls: 2, LinkFaults: 2,
+			Window:  [2]sim.Time{500_000, 40_000_000},
+			Protect: []topo.CoreID{0, 1, 5, 10},
+		}
+		inj := fault.NewInjector(e, sys)
+		inj.Arm(fault.Random(cfg.Seed^0x6b766661756c74, sys.Machine(), spec))
+	}
+	e.RunUntil(horizon)
+
+	var viol []Violation
+	for ci := range done {
+		if !done[ci] {
+			viol = append(viol, Violation{Checker: "liveness", Msg: fmt.Sprintf(
+				"kv client %d (core %d) did not finish its script by the horizon", ci, clientCores[ci])})
+		}
+	}
+	return viol, init
+}
+
+// runURPCWorkload stresses the raw transport: four point-to-point channels
+// with randomized ring sizes carry fixed message counts while the receivers
+// mix RecvAll, TryRecv and parking RecvWindow polls, plus one bulk channel
+// streaming tagged payloads. Fault mode may kill sender cores (receivers are
+// protected); a receiver whose sender died is excused from the completion
+// check — everything already transmitted must still satisfy the transport
+// invariants.
+func runURPCWorkload(e *sim.Engine, sys *cache.System, cfg RunConfig) ([]Violation, map[uint64]uint64) {
+	const (
+		msgs    = 48
+		bulks   = 12
+		horizon = 40_000_000
+	)
+	type pair struct{ s, r topo.CoreID }
+	pairs := []pair{{1, 2}, {4, 6}, {8, 9}, {12, 3}} // same-socket and cross-socket mixes
+	rng := sim.NewRNG(cfg.Seed ^ 0x75727063737472)
+
+	var viol []Violation
+	got := make([]int, len(pairs))
+	senderCores := make([]topo.CoreID, len(pairs))
+	for i, pr := range pairs {
+		slots := 2 + rng.Intn(15)
+		ch := urpc.New(sys, pr.s, pr.r, urpc.Options{Slots: slots, Home: -1})
+		if i == 0 && cfg.Mutate != urpc.MutNone {
+			ch.Mutate(cfg.Mutate)
+		}
+		senderCores[i] = pr.s
+		burst := 1 + rng.Intn(7)
+		// Pre-generated inter-burst gaps (drawn before the run so the
+		// workload's inputs don't depend on the schedule): long enough that
+		// the receiver sometimes drains the ring and parks in RecvWindow,
+		// which is the only way to exercise the notify path.
+		gaps := make([]sim.Time, msgs/burst+1)
+		for g := range gaps {
+			gaps[g] = sim.Time(rng.Intn(6000))
+		}
+		i := i
+		e.Spawn(fmt.Sprintf("send%d", i), func(p *sim.Proc) {
+			batch := make([]urpc.Message, 0, burst)
+			nburst := 0
+			for v := uint64(0); v < msgs; v++ {
+				batch = append(batch, urpc.Message{v, uint64(i), 0})
+				if len(batch) == burst || v == msgs-1 {
+					ch.SendBatch(p, batch)
+					batch = batch[:0]
+					p.Sleep(gaps[nburst])
+					nburst++
+				}
+			}
+		})
+		e.Spawn(fmt.Sprintf("recv%d", i), func(p *sim.Proc) {
+			buf := make([]urpc.Message, 8)
+			next := uint64(0)
+			polls := 0
+			for next < msgs {
+				var take int
+				switch polls % 3 {
+				case 0:
+					take = ch.RecvAll(p, buf)
+					if take == 0 {
+						p.Sleep(400)
+					}
+				case 1:
+					if m, ok := ch.TryRecv(p); ok {
+						buf[0], take = m, 1
+					} else {
+						p.Sleep(200)
+					}
+				default:
+					buf[0], take = ch.RecvWindow(p, 2_000), 1
+				}
+				polls++
+				for k := 0; k < take; k++ {
+					if buf[k][0] != next || buf[k][1] != uint64(i) {
+						viol = append(viol, Violation{Checker: "payload", Msg: fmt.Sprintf(
+							"channel %d: message %d carried %v", i, next, buf[k])})
+					}
+					next++
+				}
+				got[i] = int(next)
+			}
+		})
+	}
+
+	// One bulk channel streaming distinguishable payloads.
+	bs, br := topo.CoreID(13), topo.CoreID(7)
+	bch := urpc.NewBulk(sys, bs, br, urpc.BulkOptions{Slots: 4, SlotLines: 2, Home: -1})
+	bulkGot := 0
+	e.Spawn("bulksend", func(p *sim.Proc) {
+		payload := make([]byte, bch.SlotBytes())
+		for v := 0; v < bulks; v++ {
+			for j := range payload {
+				payload[j] = byte(v + j)
+			}
+			bch.Send(p, payload)
+		}
+	})
+	e.Spawn("bulkrecv", func(p *sim.Proc) {
+		for bulkGot < bulks {
+			data, ok := bch.TryRecv(p)
+			if !ok {
+				p.Sleep(300)
+				continue
+			}
+			for j, b := range data {
+				if b != byte(bulkGot+j) {
+					viol = append(viol, Violation{Checker: "payload", Msg: fmt.Sprintf(
+						"bulk payload %d corrupt at byte %d: %d", bulkGot, j, b)})
+					break
+				}
+			}
+			bulkGot++
+		}
+	})
+
+	killed := make(map[topo.CoreID]bool)
+	if cfg.Faults {
+		spec := fault.Spec{
+			Kills: 1, Stalls: 2, LinkFaults: 1,
+			Window:  [2]sim.Time{100_000, 10_000_000},
+			Protect: []topo.CoreID{2, 6, 9, 3, 7, 0}, // receivers (and core 0) survive
+		}
+		sch := fault.Random(cfg.Seed^0x757270636b696c6c, sys.Machine(), spec)
+		for _, c := range sch.Kills() {
+			killed[c] = true
+		}
+		inj := fault.NewInjector(e, sys)
+		inj.Arm(sch)
+	}
+	e.RunUntil(horizon)
+
+	for i := range pairs {
+		if got[i] < msgs && !killed[senderCores[i]] {
+			viol = append(viol, Violation{Checker: "liveness", Msg: fmt.Sprintf(
+				"channel %d: receiver drained %d of %d messages with its sender alive", i, got[i], msgs)})
+		}
+	}
+	if bulkGot < bulks && !killed[bs] {
+		viol = append(viol, Violation{Checker: "liveness", Msg: fmt.Sprintf(
+			"bulk channel: receiver drained %d of %d payloads with its sender alive", bulkGot, bulks)})
+	}
+	return viol, nil
+}
+
+// runMonitorWorkload exercises the agreement layer: a driver on core 0 issues
+// unmap/retype/revoke rounds across the monitor network under each protocol
+// while perturbations reorder the message flights. Fault mode arms fault
+// tolerance and may fail-stop up to two non-root monitors mid-operation; the
+// recovery protocol must still complete every op on the survivors.
+func runMonitorWorkload(e *sim.Engine, sys *cache.System, cfg RunConfig) ([]Violation, map[uint64]uint64) {
+	const horizon = 30_000_000
+	m := sys.Machine()
+	kern := kernel.NewSystem(e, m)
+	kb := skb.New(m)
+	kb.Discover()
+	kb.Measure(func(a, b topo.CoreID) sim.Time { return 2 * m.TransferLat(b, a) })
+	net := monitor.NewNetwork(e, sys, kern, kb, monitor.Hooks{})
+
+	if cfg.Faults {
+		net.EnableFaultTolerance(100_000)
+		spec := fault.Spec{
+			Kills: 2, Stalls: 1, LinkFaults: 1,
+			Window:  [2]sim.Time{50_000, 5_000_000},
+			Protect: []topo.CoreID{0},
+		}
+		inj := fault.NewInjector(e, sys)
+		inj.OnKill(func(c topo.CoreID) { net.FailStop(c) })
+		inj.Arm(fault.Random(cfg.Seed^0x6d6f6e6661756c74, m, spec))
+	}
+
+	const rounds = 2
+	completed := 0
+	want := 0
+	e.Spawn("driver", func(p *sim.Proc) {
+		mon := net.Monitor(0)
+		for r := 0; r < rounds; r++ {
+			for _, proto := range []monitor.Protocol{monitor.Unicast, monitor.Multicast, monitor.NUMAAware} {
+				mon.Unmap(p, 0x10000, 4096, nil, proto)
+				completed++
+			}
+			mon.Retype(p, 0x40000, 8192, caps.Frame, 0, nil)
+			completed++
+			mon.Revoke(p, 0x80000, 4096, nil)
+			completed++
+		}
+	})
+	want = rounds * 5
+	e.RunUntil(horizon)
+
+	var viol []Violation
+	if completed < want {
+		viol = append(viol, Violation{Checker: "liveness", Msg: fmt.Sprintf(
+			"monitor driver completed %d of %d agreement ops by the horizon", completed, want)})
+	}
+	return viol, nil
+}

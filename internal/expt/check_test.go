@@ -1,0 +1,49 @@
+package expt
+
+import (
+	"reflect"
+	"testing"
+
+	"multikernel/internal/check"
+	"multikernel/internal/harness"
+)
+
+// The model-checker sweep must be deterministic across worker counts: each
+// run's engine is seeded only by (workload, seed), so running the sweep
+// serially and with the full worker pool must produce identical results —
+// down to the trace hash and the exact perturbation list each run applied.
+// This is the same guarantee the experiment sweeps pin, extended to mkcheck.
+func TestCheckSweepParallelDeterminism(t *testing.T) {
+	cfg := check.Config{
+		Workloads: []string{"urpc", "kv"},
+		Seeds:     []uint64{1, 2, 3, 4},
+		Depth:     24,
+		MaxJitter: check.DefaultMaxJitter,
+		Faults:    true,
+	}
+
+	prev := harness.Parallelism()
+	defer harness.SetParallelism(prev)
+	harness.SetParallelism(1)
+	serial := check.Run(cfg)
+	harness.SetParallelism(8)
+	parallel := check.Run(cfg)
+
+	if len(serial) == 0 {
+		t.Fatal("sweep produced no results")
+	}
+	for _, r := range serial {
+		if r.Failed() {
+			t.Fatalf("%s seed %d failed: %v", r.Workload, r.Seed, r.Violations)
+		}
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		for i := range serial {
+			if !reflect.DeepEqual(serial[i], parallel[i]) {
+				t.Fatalf("run %d diverged across parallelism:\nserial:   %+v\nparallel: %+v",
+					i, serial[i], parallel[i])
+			}
+		}
+		t.Fatal("results diverged across parallelism")
+	}
+}

@@ -2,7 +2,6 @@ package monitor
 
 import (
 	"fmt"
-	"sort"
 
 	"multikernel/internal/cache"
 	"multikernel/internal/caps"
@@ -242,10 +241,15 @@ func NewNetwork(e *sim.Engine, sys *cache.System, kern *kernel.System, kb *skb.K
 		}
 	}
 	for _, mon := range n.monitors {
-		for p := range mon.in {
-			mon.peers = append(mon.peers, p)
+		// Build the poll order by walking core ids in ascending order, never
+		// by ranging over the channel map: the poll order feeds the event
+		// queue every dispatch pass, so it must be visibly deterministic
+		// rather than map-iteration order laundered through a sort.
+		for c := 0; c < m.NumCores(); c++ {
+			if _, ok := mon.in[topo.CoreID(c)]; ok {
+				mon.peers = append(mon.peers, topo.CoreID(c))
+			}
 		}
-		sort.Slice(mon.peers, func(i, j int) bool { return mon.peers[i] < mon.peers[j] })
 		mon := mon
 		mon.proc = e.Spawn(fmt.Sprintf("monitor%d", mon.Core), mon.run)
 	}

@@ -42,22 +42,27 @@ const Forever = Time(1) << 62
 
 type event struct {
 	at   Time
+	pri  uint64 // tie-break demotion class; 0 except under a perturb hook
 	seq  uint64
 	p    *Proc  // proc to resume, or nil
 	fn   func() // callback to invoke, if p == nil
 	next *event // free-list link while pooled
 }
 
-// eventQueue is a 4-ary min-heap of events ordered by (at, seq). A 4-ary
-// heap does the same number of comparisons as a binary heap in roughly half
-// the tree depth, which means fewer cache-missing node hops per operation;
-// specializing it to *event avoids container/heap's interface conversions
-// and method-value indirections.
+// eventQueue is a 4-ary min-heap of events ordered by (at, pri, seq). A
+// 4-ary heap does the same number of comparisons as a binary heap in roughly
+// half the tree depth, which means fewer cache-missing node hops per
+// operation; specializing it to *event avoids container/heap's interface
+// conversions and method-value indirections. pri is zero for every event
+// unless a perturb hook is installed, so the default order is (at, seq).
 type eventQueue []*event
 
 func eventBefore(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.pri != b.pri {
+		return a.pri < b.pri
 	}
 	return a.seq < b.seq
 }
@@ -122,6 +127,7 @@ type Engine struct {
 	driver  chan struct{} // returns the baton to the Run/Close caller
 	limit   Time          // dispatch boundary (RunUntil), or ^Time(0)
 	rng     *RNG
+	perturb PerturbFunc // schedule-exploration hook, or nil (the default)
 	stopped bool
 	closing bool
 	nextID  int
@@ -200,10 +206,30 @@ func (e *Engine) releaseEvent(ev *event) {
 	e.free = ev
 }
 
+// PerturbFunc observes every scheduling decision and may perturb it: extra
+// is added to the event's delay (wake jitter), and pri demotes the event
+// within its timestamp cohort (events at equal virtual time dispatch in
+// ascending (pri, seq) order). Returning (0, 0) leaves the decision
+// untouched. The hook runs on the scheduling hot path, so implementations
+// must be cheap and must not touch the engine.
+type PerturbFunc func(now Time, delay Time, seq uint64) (extra Time, pri uint64)
+
+// SetPerturb installs (or, with nil, removes) a schedule-perturbation hook.
+// The hook is part of the run's identity: a given (seed, hook) pair is as
+// deterministic as a plain seeded run, which is what lets the exploration
+// harness replay and shrink failing schedules. With no hook installed the
+// scheduling path is unchanged.
+func (e *Engine) SetPerturb(fn PerturbFunc) { e.perturb = fn }
+
 func (e *Engine) schedule(d Time, p *Proc, fn func()) {
 	e.seq++
 	ev := e.newEvent()
 	ev.at, ev.seq, ev.p, ev.fn = e.now+d, e.seq, p, fn
+	if e.perturb != nil {
+		extra, pri := e.perturb(e.now, d, e.seq)
+		ev.at += extra
+		ev.pri = pri
+	}
 	e.events.push(ev)
 	if n := len(e.events); n > e.maxHeap {
 		e.maxHeap = n

@@ -8,7 +8,16 @@ type Resource struct {
 	e       *Engine
 	cap     int
 	inUse   int
-	waiters []*Proc
+	waiters []*resWaiter
+}
+
+// resWaiter is one queued Acquire. The granted flag records that Release
+// transferred slot ownership to this waiter, which is what its unwind path
+// needs to distinguish "still queued / skipped as a corpse" (nothing owned)
+// from "granted, then fail-stopped before resuming" (must pass the slot on).
+type resWaiter struct {
+	p       *Proc
+	granted bool
 }
 
 // NewResource returns a resource with the given capacity (number of
@@ -26,7 +35,27 @@ func (r *Resource) Acquire(p *Proc) {
 		r.inUse++
 		return
 	}
-	r.waiters = append(r.waiters, p)
+	w := &resWaiter{p: p}
+	r.waiters = append(r.waiters, w)
+	// Fail-stop audit: if p is killed while queued, its Park unwinds through
+	// this frame. A corpse must not stay in the FIFO (Release would hand the
+	// slot to it, leaking it forever), and a corpse that was already granted
+	// the slot — popped by Release just before the kill landed — must pass it
+	// on, or every later requester parks forever behind a dead holder.
+	defer func() {
+		if !p.killed && !p.done {
+			return
+		}
+		for i, q := range r.waiters {
+			if q == w {
+				r.waiters = append(r.waiters[:i], r.waiters[i+1:]...)
+				return
+			}
+		}
+		if w.granted {
+			r.Release()
+		}
+	}()
 	p.Park()
 }
 
@@ -46,11 +75,17 @@ func (r *Resource) Release() {
 	if r.inUse <= 0 {
 		panic("sim: release of unheld resource")
 	}
-	if len(r.waiters) > 0 {
+	// Skip waiters that were fail-stopped while queued: waking a corpse is a
+	// no-op, so handing it the slot would leak the slot forever.
+	for len(r.waiters) > 0 {
 		w := r.waiters[0]
 		copy(r.waiters, r.waiters[1:])
 		r.waiters = r.waiters[:len(r.waiters)-1]
-		r.e.Wake(w) // slot ownership transfers; inUse unchanged
+		if w.p.done || w.p.killed {
+			continue
+		}
+		w.granted = true
+		r.e.Wake(w.p) // slot ownership transfers; inUse unchanged
 		return
 	}
 	r.inUse--
@@ -64,10 +99,12 @@ func (r *Resource) QueueLen() int { return len(r.waiters) }
 
 // Use acquires the resource, holds it for d cycles, then releases it. This is
 // the common pattern for occupying a facility for a fixed service time.
+// If p is fail-stopped during the hold, the slot is still released on the
+// unwind path — the facility finishes the in-flight service time regardless.
 func (r *Resource) Use(p *Proc, d Time) {
 	r.Acquire(p)
+	defer r.Release()
 	p.Sleep(d)
-	r.Release()
 }
 
 // Queue is an unbounded FIFO of items with blocking receive, usable as a
@@ -85,11 +122,17 @@ func NewQueue[T any](e *Engine) *Queue[T] { return &Queue[T]{e: e} }
 // called from any proc or engine callback.
 func (q *Queue[T]) Push(v T) {
 	q.items = append(q.items, v)
-	if len(q.waiters) > 0 {
+	// Skip consumers fail-stopped while parked; waking a corpse would strand
+	// the item until the next Push even with live waiters queued behind it.
+	for len(q.waiters) > 0 {
 		w := q.waiters[0]
 		copy(q.waiters, q.waiters[1:])
 		q.waiters = q.waiters[:len(q.waiters)-1]
+		if w.done || w.killed {
+			continue
+		}
 		q.e.Wake(w)
+		return
 	}
 }
 

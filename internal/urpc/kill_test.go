@@ -1,0 +1,99 @@
+package urpc
+
+import (
+	"testing"
+
+	"multikernel/internal/sim"
+	"multikernel/internal/topo"
+)
+
+// Regression: Engine.Kill landing inside an in-flight SendBatch must never
+// strand a parked receiver. Two windows are dangerous:
+//
+//   - inside notify(), after the receiver was claimed (c.blocked cleared) but
+//     during the IPI-delivery sleep — the kill unwinds the sender before the
+//     Unpark, so the wakeup must be delivered on the unwind path;
+//   - between pushing slots and reaching notify() at all — messages are in
+//     the ring, the receiver is parked, and nobody is left to send the IPI.
+//
+// The test sweeps the kill time across the entire batch (one fresh engine per
+// offset) so every interleaving of the two windows is hit, and asserts the
+// parked receiver always drains what was actually published.
+func TestKillDuringSendBatchWakesParkedReceiver(t *testing.T) {
+	const (
+		batch   = 6
+		sendAt  = 5_000 // receiver is parked well before this
+		span    = 2_500 // covers SendBatch end to end (it runs ~1200 cycles)
+		horizon = 200_000
+	)
+	for off := sim.Time(0); off < span; off += 3 {
+		e, sys := newSys(topo.AMD2x2())
+		ch := New(sys, 0, 1, Options{Slots: 4, Home: -1})
+
+		got := 0
+		e.Spawn("recv", func(p *sim.Proc) {
+			p.SetDaemon(true)
+			for {
+				ch.RecvWindow(p, 100) // parks long before the send starts
+				got++
+			}
+		})
+		sender := e.Spawn("send", func(p *sim.Proc) {
+			p.Sleep(sendAt)
+			msgs := make([]Message, batch)
+			for i := range msgs {
+				msgs[i] = Message{uint64(i), 0, 0}
+			}
+			ch.SendBatch(p, msgs)
+		})
+		e.After(sendAt+off, func() { e.Kill(sender) })
+		e.RunUntil(horizon)
+
+		// Whatever made it into the ring must reach the receiver: a parked
+		// receiver with undelivered messages is the deadlock this guards
+		// against.
+		if ch.Pending() {
+			t.Fatalf("kill at +%d: receiver parked with messages pending (drained %d)", off, got)
+		}
+		if deadlocked := e.Deadlocked(); len(deadlocked) > 0 {
+			t.Fatalf("kill at +%d: deadlocked procs %v", off, deadlocked)
+		}
+		e.Close()
+	}
+}
+
+// The same window with the batch split across ring wraps: the sender blocks
+// mid-batch on a full ring (the receiver drains one message at a time), so
+// the kill can land while the sender is spinning for space with messages
+// already published.
+func TestKillWhileBatchBlockedOnFullRing(t *testing.T) {
+	const horizon = 400_000
+	for off := sim.Time(0); off < 20_000; off += 251 {
+		e, sys := newSys(topo.AMD2x2())
+		ch := New(sys, 0, 1, Options{Slots: 2, Home: -1})
+
+		got := 0
+		e.Spawn("recv", func(p *sim.Proc) {
+			p.SetDaemon(true)
+			for {
+				ch.RecvWindow(p, 50)
+				got++
+				p.Sleep(3_000) // slow consumer forces FullStall in the sender
+			}
+		})
+		sender := e.Spawn("send", func(p *sim.Proc) {
+			msgs := make([]Message, 12)
+			for i := range msgs {
+				msgs[i] = Message{uint64(i), 0, 0}
+			}
+			ch.SendBatch(p, msgs)
+		})
+		e.After(off, func() { e.Kill(sender) })
+		e.RunUntil(horizon)
+
+		if ch.Pending() {
+			t.Fatalf("kill at %d: receiver parked with messages pending (drained %d)", off, got)
+		}
+		e.Close()
+	}
+}

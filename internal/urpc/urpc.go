@@ -77,6 +77,7 @@ type Channel struct {
 
 	blocked *sim.Proc // receiver parked awaiting notification, if any
 	dead    bool      // peer declared fail-stopped; sends are refused
+	mut     Mutation  // deliberate protocol defect for checker self-tests
 	stats   Stats
 
 	// id is the channel's engine-unique serial; flow-event ids are
@@ -101,6 +102,28 @@ type Options struct {
 	// trading single-message latency for pipelined throughput (§4.6).
 	Prefetch bool
 }
+
+// Mutation selects a deliberate protocol defect. The schedule-exploration
+// checker's self-tests (internal/check) arm these to prove the transport
+// invariants actually bite: a checker that cannot catch a known-planted bug
+// is not guarding anything. MutNone (the zero value) is the correct protocol
+// and costs nothing.
+type Mutation uint8
+
+const (
+	// MutNone runs the correct protocol.
+	MutNone Mutation = iota
+	// MutAckOverpublish publishes receiver progress one message beyond what
+	// was actually consumed, silently granting the sender a ring slot whose
+	// previous occupant was never delivered.
+	MutAckOverpublish
+	// MutDropNotify loses the parked-receiver wakeup: the sender believes the
+	// notification was delivered, but the receiver stays parked.
+	MutDropNotify
+)
+
+// Mutate arms a deliberate protocol defect (checker self-tests only).
+func (c *Channel) Mutate(m Mutation) { c.mut = m }
 
 // New creates a channel from sender to receiver over the given cache system.
 func New(sys *cache.System, sender, receiver topo.CoreID, opts Options) *Channel {
@@ -134,6 +157,9 @@ func New(sys *cache.System, sender, receiver topo.CoreID, opts Options) *Channel
 		mTimeouts:  reg.Counter("urpc.timeouts"),
 		mRetries:   reg.Counter("urpc.retries"),
 	}
+	// A one-time geometry record: the transport checker needs each channel's
+	// ring size to verify that no slot is reused before its ack.
+	eng.Tracer().Emit(uint64(eng.Now()), trace.Instant, trace.SubURPC, int32(sender), "urpc.chan", c.id<<32, uint64(slots))
 	return c
 }
 
@@ -189,6 +215,22 @@ func (c *Channel) Send(p *sim.Proc, msg Message) {
 // as the in-flight depth approaches the ring size.
 func (c *Channel) SendBatch(p *sim.Proc, msgs []Message) {
 	rec := c.eng.Tracer()
+	// Kill audit: a sender fail-stopped mid-burst (Engine.Kill lands at one of
+	// the pushSlot yields) has already made some slot writes visible — their
+	// sequence words are published — but has not reached this burst's notify.
+	// A receiver parked on the ring would then wait forever for messages that
+	// are already there. The unwind path delivers the wakeup the slots have
+	// earned; on a normal return notify has cleared c.blocked and this is a
+	// no-op, so the fault-free path is cycle-identical.
+	defer func() {
+		if w := c.blocked; w != nil && c.Pending() {
+			c.blocked = nil
+			c.stats.Notifies++
+			c.mNotifies.Inc()
+			eng := c.eng
+			eng.After(c.sys.Machine().Costs.IPIDeliver, func() { eng.Wake(w) })
+		}
+	}()
 	for len(msgs) > 0 {
 		c.waitSpace(p)
 		n := c.slots - int(c.sendSeq-c.sendAcked)
@@ -289,8 +331,16 @@ func (c *Channel) notify(p *sim.Proc) {
 	c.blocked = nil
 	c.stats.Notifies++
 	c.mNotifies.Inc()
+	if c.mut == MutDropNotify {
+		return // planted defect: the wakeup is lost
+	}
+	// The wakeup is committed before the IPI-latency sleep: if the sender is
+	// fail-stopped during the sleep (Engine.Kill unwinds it at that yield),
+	// the deferred Unpark still runs, so the receiver is never stranded with
+	// messages already visible in the ring. On the fault-free path the defer
+	// fires right after the sleep — cycle-identical to the inline call.
+	defer p.Unpark(w)
 	p.Sleep(c.sys.Machine().Costs.IPIDeliver)
-	p.Unpark(w)
 }
 
 // TryRecv polls once; it returns the next message if one is ready.
@@ -377,8 +427,13 @@ func (c *Channel) RecvAll(p *sim.Proc, buf []Message) int {
 // because for them the ack is the slot-reuse grant.
 func (c *Channel) ackConsumed(p *sim.Proc) {
 	if c.recvSeq-c.published >= uint64(c.slots)/2 || !c.Pending() {
-		c.sys.Store(p, c.Receiver, c.ack.Base, c.recvSeq)
-		c.published = c.recvSeq
+		pub := c.recvSeq
+		if c.mut == MutAckOverpublish && pub > 0 {
+			pub++ // planted defect: grant a slot that was never consumed
+		}
+		c.sys.Store(p, c.Receiver, c.ack.Base, pub)
+		c.published = pub
+		c.eng.Tracer().Emit(uint64(p.Now()), trace.Instant, trace.SubURPC, int32(c.Receiver), "urpc.ack", c.id<<32, pub)
 	}
 }
 

@@ -2,6 +2,7 @@ package urpc
 
 import (
 	"bytes"
+	"math/rand"
 	"testing"
 
 	"multikernel/internal/sim"
@@ -273,5 +274,71 @@ func TestBatchedVsUnbatchedEquivalence(t *testing.T) {
 	}
 	if slack := sim.Time(pollGap + recvCheckCost + recvCopyCost); batchedEnd > plainEnd+slack*10 {
 		t.Fatalf("batched delivery finished at %d, far after unbatched at %d", batchedEnd, plainEnd)
+	}
+}
+
+// TestSendBatchRecvAllProperty: for random ring capacities, burst shapes and
+// receive-buffer sizes, RecvAll must drain exactly the sequence SendBatch
+// wrote — same count, same order, same payload words — with the channel
+// counters agreeing. Inputs are pre-generated from the trial seed so the
+// workload never depends on the schedule, and each failure names its trial.
+func TestSendBatchRecvAllProperty(t *testing.T) {
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(0x5ba7c4 + int64(trial)))
+		slots := 2 + rng.Intn(31)
+		bufN := 1 + rng.Intn(2*slots+1)
+		nBursts := 1 + rng.Intn(8)
+		bursts := make([][]Message, nBursts)
+		gaps := make([]sim.Time, nBursts)
+		var want []Message
+		for b := range bursts {
+			n := 1 + rng.Intn(3*slots)
+			bursts[b] = make([]Message, n)
+			for i := range bursts[b] {
+				bursts[b][i] = Message{rng.Uint64(), uint64(len(want) + i), uint64(b)}
+			}
+			want = append(want, bursts[b]...)
+			gaps[b] = sim.Time(rng.Intn(4000))
+		}
+
+		e, sys := newSys(topo.AMD2x2())
+		ch := New(sys, 0, 2, Options{Home: -1, Slots: slots})
+		var got []Message
+		e.Spawn("recv", func(p *sim.Proc) {
+			buf := make([]Message, bufN)
+			for len(got) < len(want) {
+				k := ch.RecvAll(p, buf)
+				if k == 0 {
+					p.Sleep(pollGap)
+					continue
+				}
+				got = append(got, buf[:k]...)
+			}
+		})
+		e.Spawn("send", func(p *sim.Proc) {
+			for b, msgs := range bursts {
+				ch.SendBatch(p, msgs)
+				p.Sleep(gaps[b])
+			}
+		})
+		e.Run()
+		e.CheckQuiesced()
+
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (slots %d buf %d): received %d of %d",
+				trial, slots, bufN, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (slots %d buf %d): message %d is %v, want %v",
+					trial, slots, bufN, i, got[i], want[i])
+			}
+		}
+		if st := ch.Stats(); st.Sent != uint64(len(want)) || st.Received != uint64(len(want)) {
+			t.Fatalf("trial %d: stats %+v, want %d sent and received", trial, st, len(want))
+		}
+		assertFaultFree(t, e)
+		e.Close()
 	}
 }
