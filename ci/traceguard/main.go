@@ -15,6 +15,14 @@
 //     exactly (keys with a ":unit" suffix in the baseline): any regression
 //     fails, and an improvement prints a reminder to refresh the baseline.
 //
+//   - The parallel-engine determinism contract: the pinned engine workload
+//     (-bench=ParallelEnginePinned in internal/sim) replays the same
+//     virtual-time window serially and at 2 and 4 workers, reporting the
+//     deterministic simevents/op count per worker configuration. The three
+//     entries are pinned exactly like the URPC metrics, so a parallel run
+//     that dispatches even one event more or fewer than the committed
+//     baseline — i.e. diverges from the serial schedule — fails CI.
+//
 // Usage:
 //
 //	go run ./ci/traceguard            # check against the baseline
@@ -60,7 +68,7 @@ func main() {
 		os.Exit(1)
 	}
 	if len(simMeasured) == 0 {
-		fmt.Fprintln(os.Stderr, "traceguard: no URPC simcycle benchmarks found")
+		fmt.Fprintln(os.Stderr, "traceguard: no deterministic sim benchmarks found")
 		os.Exit(1)
 	}
 
@@ -130,33 +138,45 @@ func main() {
 	}
 }
 
-// runSimBenchmarks executes the deterministic URPC transport benchmarks once
-// and returns their simulated-cycle metrics keyed "BenchmarkName:unit".
+// runSimBenchmarks executes the deterministic benchmarks once — the URPC
+// transport costs and the parallel-engine pinned workload at each worker
+// count — and returns their simulated metrics keyed "BenchmarkName:unit".
+// The engine benchmark doubles as a determinism gate: the w1/w2/w4
+// sub-benchmarks replay the same pinned virtual-time window, so their
+// simevents/op entries must stay equal to each other as well as to the
+// baseline.
 func runSimBenchmarks() (map[string]float64, error) {
-	cmd := exec.Command("go", "test", "-run=NONE",
-		"-bench=URPCPipelined|BulkTransfer", "-benchtime=1x", "./internal/urpc/")
-	out, err := cmd.CombinedOutput()
-	if err != nil {
-		return nil, fmt.Errorf("urpc benchmark run failed: %v\n%s", err, out)
-	}
 	got := map[string]float64{}
-	sc := bufio.NewScanner(strings.NewReader(string(out)))
-	for sc.Scan() {
-		// "BenchmarkURPCPipelined   1   1142308 ns/op   204.7 simcycles/msg"
-		fields := strings.Fields(sc.Text())
-		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-			continue
+	for _, run := range []struct{ bench, pkg string }{
+		{"URPCPipelined|BulkTransfer", "./internal/urpc/"},
+		{"ParallelEnginePinned", "./internal/sim/"},
+	} {
+		cmd := exec.Command("go", "test", "-run=NONE",
+			"-bench="+run.bench, "-benchtime=1x", run.pkg)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			return nil, fmt.Errorf("%s benchmark run failed: %v\n%s", run.pkg, err, out)
 		}
-		name := strings.TrimSuffix(fields[0], "-"+lastCPUSuffix(fields[0]))
-		for i := 3; i < len(fields); i++ {
-			if !strings.HasPrefix(fields[i], "simcycles/") {
+		sc := bufio.NewScanner(strings.NewReader(string(out)))
+		for sc.Scan() {
+			// "BenchmarkURPCPipelined   1   1142308 ns/op   204.7 simcycles/msg"
+			// "BenchmarkParallelEnginePinned/w2   1   51 ms/op   121804 simevents/op"
+			fields := strings.Fields(sc.Text())
+			if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 				continue
 			}
-			v, err := strconv.ParseFloat(fields[i-1], 64)
-			if err != nil {
-				continue
+			name := strings.TrimSuffix(fields[0], "-"+lastCPUSuffix(fields[0]))
+			for i := 3; i < len(fields); i++ {
+				if !strings.HasPrefix(fields[i], "simcycles/") &&
+					!strings.HasPrefix(fields[i], "simevents/") {
+					continue
+				}
+				v, err := strconv.ParseFloat(fields[i-1], 64)
+				if err != nil {
+					continue
+				}
+				got[name+":"+fields[i]] = v
 			}
-			got[name+":"+fields[i]] = v
 		}
 	}
 	return got, nil
@@ -233,8 +253,9 @@ func writeBaseline(m map[string]float64) error {
 	b.WriteString("# Cost baselines enforced by ci/traceguard (-update rewrites).\n")
 	b.WriteString("# Plain keys: minimum ns/op of the tracing-off benchmarks; CI fails\n")
 	b.WriteString("# when a measurement exceeds its line by more than -tolerance.\n")
-	b.WriteString("# \":unit\" keys: deterministic simulated-cycle costs of the URPC v2\n")
-	b.WriteString("# transport benchmarks, pinned exactly — any increase fails CI.\n")
+	b.WriteString("# \":unit\" keys: deterministic simulated metrics (URPC v2 transport\n")
+	b.WriteString("# costs; parallel-engine pinned event counts, which must also match\n")
+	b.WriteString("# across worker counts), pinned exactly — any increase fails CI.\n")
 	for _, name := range sortedKeys(m) {
 		fmt.Fprintf(&b, "%s %.2f\n", name, m[name])
 	}

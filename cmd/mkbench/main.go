@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	mkbench [-quick] [-parallel N] [-json file] [-trace file] [-fault-seed N] [experiment ...]
+//	mkbench [-quick] [-parallel N] [-run-workers N] [-json file] [-trace file]
+//	        [-checkpoint file] [-restore file] [-cpuprofile file] [-memprofile file]
+//	        [-fault-seed N] [experiment ...]
 //
 // Experiments: fig3 tab1 tab2 tab3 fig6 fig7 fig8 tab4 fig9 sec54 poll
-// ablations extensions faults urpcv2, or "all" (the default).
+// ablations extensions faults urpcv2 sim, or "all" (the default).
 //
 // The urpcv2 experiment sweeps the v2 transport: pipelined throughput
 // against sender in-flight depth 1→16, the ring-vs-bulk crossover for
@@ -20,10 +22,22 @@
 // throughput against the fault rate; -fault-seed selects the schedule
 // family.
 //
+// The sim experiment benchmarks the engine itself: event throughput of the
+// serial reference engine against per-socket sub-engines at 2/4/8 workers
+// (plus -run-workers when it names another count), with byte-identity of the
+// final engine image checked against the serial run, and a warm-start
+// comparison of a boot-per-point sweep against a boot-once/restore-per-point
+// sweep. -checkpoint saves that boot image to a file; -restore feeds a saved
+// image back in, so a later run skips simulated boot entirely.
+//
 // Independent experiment points run across a pool of -parallel worker
 // threads (default GOMAXPROCS); output is byte-identical to -parallel 1
 // because every point is a hermetic, seed-deterministic engine run and
-// results are collected in deterministic order.
+// results are collected in deterministic order. -run-workers additionally
+// budgets intra-run engine workers per point (harness.SetRunWorkers) — the
+// second axis of host parallelism, used by engine-parallel experiments.
+//
+// -cpuprofile and -memprofile write pprof profiles of the whole run.
 //
 // With -json, headline metrics (the last point of every figure series, per-
 // experiment and total wall-clock seconds, and the parallelism used) are
@@ -46,6 +60,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -66,19 +81,82 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Perfetto-loadable Chrome trace of every engine run to this file")
 	faultSeed := flag.Uint64("fault-seed", 42, "seed family for the faults experiment's schedules")
 	faultsOnly := flag.Bool("faults", false, "shorthand for the faults experiment")
+	runWorkers := flag.Int("run-workers", 1,
+		"intra-run engine worker budget per experiment point (1 = serial reference engine)")
+	ckptOut := flag.String("checkpoint", "", "write the warm-start boot image to this file")
+	ckptIn := flag.String("restore", "", "warm-start the sim experiment's sweep from this saved boot image")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 
 	harness.SetParallelism(*parallel)
+	harness.SetRunWorkers(*runWorkers)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mkbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mkbench: starting CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mkbench: %v\n", err)
+				return
+			}
+			runtime.GC()
+			err = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mkbench: writing heap profile: %v\n", err)
+			}
+		}()
+	}
+
+	// The warm-start boot image: -checkpoint boots once and saves it,
+	// -restore supplies one saved earlier; either way the sim experiment's
+	// warm sweep starts from it instead of simulating boot.
+	var bootImg []byte
+	if *ckptOut != "" {
+		bootImg = expt.BootImage(expt.WarmStartMachine())
+		if err := os.WriteFile(*ckptOut, bootImg, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mkbench: writing boot image: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "boot image for %s (%d bytes) written to %s\n",
+			expt.WarmStartMachine().Name, len(bootImg), *ckptOut)
+	}
+	if *ckptIn != "" {
+		b, err := os.ReadFile(*ckptIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mkbench: reading boot image: %v\n", err)
+			os.Exit(1)
+		}
+		bootImg = b
+	}
 
 	iters := 10
 	webWindow := sim.Time(40_000_000)
 	packets := 400
 	fig9Scale := 1.0
+	simScale := 4000
+	simPoints := 8
 	if *quick {
 		iters = 3
 		webWindow = 10_000_000
 		packets = 120
 		fig9Scale = 0.25
+		simScale = 600
+		simPoints = 4
 	}
 
 	pw, ph := 0, 0
@@ -145,6 +223,29 @@ func main() {
 			showFig("urpcv2-depth", expt.URPCv2Depth(30*iters))
 			showFig("urpcv2-size", expt.URPCv2Size(3*iters))
 			showTab(expt.URPCv2Table(30 * iters))
+		}},
+		{"sim", func() {
+			counts := []int{2, 4, 8}
+			if w := harness.RunWorkers(); w > 1 && w != 2 && w != 4 && w != 8 {
+				counts = append(counts, w)
+			}
+			res := expt.EngineBench(simScale, counts)
+			showTab(expt.EngineBenchTable(res))
+			identical := true
+			for _, r := range res {
+				headline[fmt.Sprintf("sim.events_per_sec.w%d", r.Workers)] = round3(r.EventsPerSec)
+				headline[fmt.Sprintf("sim.speedup.w%d", r.Workers)] = round3(r.Speedup)
+				identical = identical && r.Identical
+			}
+			headline["sim.events"] = float64(res[0].Events)
+			headline["sim.identical"] = b2f(identical)
+
+			wt, wres := expt.WarmStart(simPoints, bootImg)
+			showTab(wt)
+			headline["sim.cold_seconds"] = round3(wres.ColdSeconds)
+			headline["sim.warm_seconds"] = round3(wres.WarmSeconds)
+			headline["sim.boot_image_bytes"] = float64(wres.ImageBytes)
+			headline["sim.warm_identical"] = b2f(wres.Identical)
 		}},
 	}
 
@@ -244,3 +345,10 @@ func main() {
 }
 
 func round3(s float64) float64 { return float64(int64(s*1000+0.5)) / 1000 }
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	mksim [-machine "4x4-core AMD"] [-trace] [-trace-json out.json]
+//	      [-checkpoint boot.ckpt | -restore boot.ckpt]
+//
+// -checkpoint runs the boot to quiescence, saves the engine image to the
+// named file and continues with the demo. -restore skips the simulated boot:
+// the engine state is loaded from a previously saved image (which must have
+// been taken on the same -machine) and only the demo workload is simulated.
 package main
 
 import (
@@ -26,7 +32,14 @@ func main() {
 	machine := flag.String("machine", "4x4-core AMD", "one of the paper's test platforms")
 	dumpTrace := flag.Bool("trace", false, "print the structured event trace after the run")
 	traceJSON := flag.String("trace-json", "", "write the trace as Chrome trace-event JSON (open in Perfetto)")
+	ckptOut := flag.String("checkpoint", "", "save the booted engine image to this file before the demo")
+	ckptIn := flag.String("restore", "", "warm-start from a saved boot image instead of simulating boot")
 	flag.Parse()
+
+	if *ckptOut != "" && *ckptIn != "" {
+		fmt.Fprintln(os.Stderr, "mksim: -checkpoint and -restore are mutually exclusive")
+		os.Exit(2)
+	}
 
 	m := topo.ByName(*machine)
 	if m == nil {
@@ -37,14 +50,55 @@ func main() {
 		os.Exit(2)
 	}
 
-	e := multikernel.NewEngine(1)
 	var rec *trace.Recorder
 	if *dumpTrace || *traceJSON != "" {
 		rec = trace.NewRecorder()
-		e.SetTracer(rec)
 	}
-	sys := multikernel.Boot(e, m)
-	fmt.Printf("booted multikernel on %v\n", m)
+
+	var e *sim.Engine
+	var sys *multikernel.System
+	if *ckptIn != "" {
+		f, err := os.Open(*ckptIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mksim: %v\n", err)
+			os.Exit(1)
+		}
+		e, err = sim.Restore(f, func(e *sim.Engine) {
+			if rec != nil {
+				e.SetTracer(rec)
+			}
+			sys = multikernel.Boot(e, m)
+		})
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mksim: restoring %s (image must be from the same -machine): %v\n", *ckptIn, err)
+			os.Exit(1)
+		}
+		fmt.Printf("restored multikernel boot image %s on %v (simulated boot skipped)\n", *ckptIn, m)
+	} else {
+		e = multikernel.NewEngine(1)
+		if rec != nil {
+			e.SetTracer(rec)
+		}
+		sys = multikernel.Boot(e, m)
+		fmt.Printf("booted multikernel on %v\n", m)
+		if *ckptOut != "" {
+			e.Run() // boot to quiescence so the image is checkpointable
+			f, err := os.Create(*ckptOut)
+			if err == nil {
+				err = e.Checkpoint(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mksim: writing boot image: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("boot image saved to %s (restore with -restore %s -machine %q)\n",
+				*ckptOut, *ckptOut, m.Name)
+		}
+	}
 	fmt.Printf("  %s\n", sys.KB)
 
 	e.Spawn("init", func(p *sim.Proc) {

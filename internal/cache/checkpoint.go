@@ -1,0 +1,160 @@
+package cache
+
+// Checkpoint serialization for the MOESI directory, implementing
+// sim.Checkpointer. The image covers everything the next transaction's
+// latency depends on: per-line directory entries, home-directory service
+// frontiers, per-core store-buffer occupancy, access counters and fault
+// state. The fill/fan-out histograms live in the engine's metrics registry
+// and travel with its image; per-line transfer queues are sim.Resources and
+// are rebuilt empty — a line mid-transfer means a pending engine callback,
+// which the engine-level checkpoint already rejects as non-quiescent.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"multikernel/internal/ckpt"
+	"multikernel/internal/memory"
+	"multikernel/internal/sim"
+	"multikernel/internal/topo"
+)
+
+// Per-line flag bits in the serialized image.
+const (
+	clDirty = 1 << iota
+	clXferStore
+)
+
+// CheckpointState serializes the directory and per-core state.
+func (s *System) CheckpointState(w io.Writer) error {
+	if s.tracking {
+		return fmt.Errorf("cache: checkpoint during touch tracking")
+	}
+	ids := make([]memory.LineID, 0, len(s.lines))
+	for id := range s.lines {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if err := ckpt.WriteU64(w, uint64(len(ids))); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		l := s.lines[id]
+		if l.res.InUse()+l.res.QueueLen() > 0 {
+			return fmt.Errorf("cache: line %#x mid-transfer (not quiescent)", uint64(id))
+		}
+		var flags uint64
+		if l.dirty {
+			flags |= clDirty
+		}
+		if l.xferStore {
+			flags |= clXferStore
+		}
+		if err := ckpt.WriteU64(w, uint64(id), l.holders, uint64(int64(l.owner)), flags); err != nil {
+			return err
+		}
+	}
+	dirFree := make([]uint64, len(s.dirFree))
+	for i, t := range s.dirFree {
+		dirFree[i] = uint64(t)
+	}
+	if err := ckpt.WriteU64Slice(w, dirFree); err != nil {
+		return err
+	}
+	inflight := make([]uint64, len(s.inflight))
+	for i, n := range s.inflight {
+		inflight[i] = uint64(n)
+	}
+	if err := ckpt.WriteU64Slice(w, inflight); err != nil {
+		return err
+	}
+	if err := ckpt.WriteU64(w, uint64(len(s.stats))); err != nil {
+		return err
+	}
+	for i := range s.stats {
+		st := &s.stats[i]
+		if err := ckpt.WriteU64(w, st.Hits, st.Misses, st.RemoteMisses, st.Upgrades, st.Invalidated); err != nil {
+			return err
+		}
+	}
+	stall := make([]uint64, len(s.stallUntil))
+	for i, t := range s.stallUntil {
+		stall[i] = uint64(t)
+	}
+	return ckpt.WriteU64Slice(w, stall)
+}
+
+// RestoreState replaces the directory and per-core state with an image.
+func (s *System) RestoreState(r io.Reader) error {
+	var nlines uint64
+	if err := ckpt.ReadU64(r, &nlines); err != nil {
+		return err
+	}
+	lines := make(map[memory.LineID]*line, nlines)
+	for i := uint64(0); i < nlines; i++ {
+		var id, holders, owner, flags uint64
+		if err := ckpt.ReadU64(r, &id, &holders, &owner, &flags); err != nil {
+			return err
+		}
+		lines[memory.LineID(id)] = &line{
+			holders:   holders,
+			owner:     topo.CoreID(int64(owner)),
+			dirty:     flags&clDirty != 0,
+			xferStore: flags&clXferStore != 0,
+			res:       sim.NewResource(s.eng, 1),
+		}
+	}
+	dirFree, err := ckpt.ReadU64Slice(r)
+	if err != nil {
+		return err
+	}
+	if len(dirFree) != len(s.dirFree) {
+		return fmt.Errorf("cache: image has %d home directories; machine has %d", len(dirFree), len(s.dirFree))
+	}
+	inflight, err := ckpt.ReadU64Slice(r)
+	if err != nil {
+		return err
+	}
+	if len(inflight) != len(s.inflight) {
+		return fmt.Errorf("cache: image has %d cores; machine has %d", len(inflight), len(s.inflight))
+	}
+	var ncores uint64
+	if err := ckpt.ReadU64(r, &ncores); err != nil {
+		return err
+	}
+	if int(ncores) != len(s.stats) {
+		return fmt.Errorf("cache: image has stats for %d cores; machine has %d", ncores, len(s.stats))
+	}
+	stats := make([]Stats, ncores)
+	for i := range stats {
+		st := &stats[i]
+		if err := ckpt.ReadU64(r, &st.Hits, &st.Misses, &st.RemoteMisses, &st.Upgrades, &st.Invalidated); err != nil {
+			return err
+		}
+	}
+	stall, err := ckpt.ReadU64Slice(r)
+	if err != nil {
+		return err
+	}
+
+	s.lines = lines
+	for i, v := range dirFree {
+		s.dirFree[i] = sim.Time(v)
+	}
+	for i, v := range inflight {
+		s.inflight[i] = int(v)
+	}
+	copy(s.stats, stats)
+	if len(stall) > 0 {
+		s.stallUntil = make([]sim.Time, len(stall))
+		for i, v := range stall {
+			s.stallUntil[i] = sim.Time(v)
+		}
+		s.anyStall = true
+	} else {
+		s.stallUntil = nil
+		s.anyStall = false
+	}
+	return nil
+}

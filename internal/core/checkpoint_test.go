@@ -1,0 +1,196 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"multikernel/internal/caps"
+	"multikernel/internal/monitor"
+	"multikernel/internal/sim"
+	"multikernel/internal/topo"
+	"multikernel/internal/vm"
+)
+
+// bootWorkload is a deterministic post-boot workload exercising every
+// coordinated path: domain creation, cross-core mapped accesses, a
+// NUMA-aware unmap shootdown and a globally-agreed retype. It returns the
+// virtual-time costs of the coordinated operations so warm-started runs can
+// be compared against the original beyond byte equality.
+func bootWorkload(t *testing.T, e *sim.Engine, s *System) (unmap, retype sim.Time) {
+	t.Helper()
+	var failed string
+	e.Spawn("init", func(p *sim.Proc) {
+		// Up to four cores spread across the machine.
+		n := s.Mach.NumCores()
+		step := n / 4
+		if step == 0 {
+			step = 1
+		}
+		var cores []topo.CoreID
+		for c := 0; c < n && len(cores) < 4; c += step {
+			cores = append(cores, topo.CoreID(c))
+		}
+		d, err := s.NewDomain(p, "warm", cores)
+		if err != nil {
+			failed = err.Error()
+			return
+		}
+		va, err := d.MapAnon(p, 0, 2*vm.PageSize, vm.Read|vm.Write)
+		if err != nil {
+			failed = err.Error()
+			return
+		}
+		for _, c := range cores {
+			if _, err := d.Space.Access(p, c, va+8, true, uint64(c)); err != nil {
+				failed = err.Error()
+				return
+			}
+		}
+		start := p.Now()
+		if err := d.Unmap(p, 0, va, vm.PageSize, monitor.NUMAAware); err != nil {
+			failed = err.Error()
+			return
+		}
+		unmap = p.Now() - start
+		reg := s.Mem.Alloc(4096, 0)
+		start = p.Now()
+		if !s.GlobalRetype(p, 0, reg.Base, reg.Bytes, caps.Frame, 0) {
+			failed = "global retype aborted"
+			return
+		}
+		retype = p.Now() - start
+		if err := s.CheckCapConsistency(); err != nil {
+			failed = err.Error()
+		}
+	})
+	e.Run()
+	if failed != "" {
+		t.Fatal(failed)
+	}
+	return unmap, retype
+}
+
+// TestBootCheckpointWarmStart is the end-to-end warm-start contract: boot the
+// full multikernel, run to quiescence, checkpoint. Restoring that image into
+// a freshly constructed system (BootWith is its own restore builder) and
+// running a workload must be byte-identical — final engine image and metrics
+// — to the original system continuing past its checkpoint.
+func TestBootCheckpointWarmStart(t *testing.T) {
+	m := topo.AMD4x4()
+
+	finish := func(e *sim.Engine) ([]byte, []byte) {
+		t.Helper()
+		e.CheckQuiesced()
+		var img bytes.Buffer
+		if err := e.Checkpoint(&img); err != nil {
+			t.Fatalf("post-workload checkpoint: %v", err)
+		}
+		js, err := json.Marshal(e.Metrics().Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Close()
+		return img.Bytes(), js
+	}
+
+	// Original: boot, quiesce, save the boot image, then run the workload.
+	eA := sim.NewEngine(1)
+	sA := Boot(eA, m)
+	eA.Run()
+	var bootImg bytes.Buffer
+	if err := eA.Checkpoint(&bootImg); err != nil {
+		t.Fatalf("boot checkpoint: %v", err)
+	}
+	unmapA, retypeA := bootWorkload(t, eA, sA)
+	imgA, jsA := finish(eA)
+	if unmapA == 0 || retypeA == 0 {
+		t.Fatalf("workload measured unmap=%d retype=%d cycles; expected nonzero", unmapA, retypeA)
+	}
+
+	// Warm start: restore the boot image into a fresh construction and run
+	// the identical workload.
+	var sB *System
+	eB, err := sim.Restore(bytes.NewReader(bootImg.Bytes()), func(e *sim.Engine) {
+		sB = Boot(e, m)
+	})
+	if err != nil {
+		t.Fatalf("restore boot image: %v", err)
+	}
+	unmapB, retypeB := bootWorkload(t, eB, sB)
+	imgB, jsB := finish(eB)
+
+	if unmapB != unmapA || retypeB != retypeA {
+		t.Errorf("warm-started workload costs differ: unmap %d vs %d, retype %d vs %d",
+			unmapB, unmapA, retypeB, retypeA)
+	}
+	if !bytes.Equal(imgB, imgA) {
+		t.Error("warm-started run's final engine image differs from the original")
+	}
+	if !bytes.Equal(jsB, jsA) {
+		t.Errorf("warm-started run's metrics differ from the original\n got: %s\nwant: %s", jsB, jsA)
+	}
+}
+
+// TestBootCheckpointRoundTrip checks the cheaper invariant on every machine:
+// the boot image restores, and re-checkpointing the restored system
+// reproduces the image byte for byte (the checkpoint bytes ARE the state).
+func TestBootCheckpointRoundTrip(t *testing.T) {
+	for _, m := range []*topo.Machine{topo.AMD2x2(), topo.Intel2x4(), topo.AMD4x4(), topo.AMD8x4()} {
+		e := sim.NewEngine(1)
+		Boot(e, m)
+		e.Run()
+		var img bytes.Buffer
+		if err := e.Checkpoint(&img); err != nil {
+			t.Fatalf("%s: boot checkpoint: %v", m.Name, err)
+		}
+		e.Close()
+
+		e2, err := sim.Restore(bytes.NewReader(img.Bytes()), func(e *sim.Engine) {
+			Boot(e, m)
+		})
+		if err != nil {
+			t.Fatalf("%s: restore: %v", m.Name, err)
+		}
+		var img2 bytes.Buffer
+		if err := e2.Checkpoint(&img2); err != nil {
+			t.Fatalf("%s: re-checkpoint: %v", m.Name, err)
+		}
+		e2.Close()
+		if !bytes.Equal(img.Bytes(), img2.Bytes()) {
+			t.Errorf("%s: restored system's checkpoint differs from the image it was restored from", m.Name)
+		}
+	}
+}
+
+// TestBootCheckpointSharedReplicas covers the §3.3 shared-replica
+// configuration: its spinlocked per-socket replicas are host-side
+// construction state, so the same warm-start contract must hold.
+func TestBootCheckpointSharedReplicas(t *testing.T) {
+	m := topo.AMD2x2()
+	opts := Options{SharedReplicas: true}
+
+	eA := sim.NewEngine(1)
+	sA := BootWith(eA, m, opts)
+	eA.Run()
+	var bootImg bytes.Buffer
+	if err := eA.Checkpoint(&bootImg); err != nil {
+		t.Fatalf("boot checkpoint: %v", err)
+	}
+	unmapA, retypeA := bootWorkload(t, eA, sA)
+	eA.Close()
+
+	var sB *System
+	eB, err := sim.Restore(bytes.NewReader(bootImg.Bytes()), func(e *sim.Engine) {
+		sB = BootWith(e, m, opts)
+	})
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	unmapB, retypeB := bootWorkload(t, eB, sB)
+	eB.Close()
+	if unmapB != unmapA || retypeB != retypeA {
+		t.Errorf("shared-replica warm start diverged: unmap %d vs %d, retype %d vs %d",
+			unmapB, unmapA, retypeB, retypeA)
+	}
+}

@@ -105,6 +105,14 @@ func BootWith(e *sim.Engine, m *topo.Machine, opts Options) *System {
 	if opts.SharedReplicas {
 		s.enableSharedReplicas()
 	}
+	// Checkpoint participation: memory pages, the MOESI directory and the
+	// monitor network (with its URPC mesh cursors) travel with the engine
+	// image, so a booted system can be saved once and warm-started per sweep
+	// point. Restoring requires rebuilding with the same machine and options
+	// — BootWith is its own restore builder.
+	e.RegisterCheckpoint("memory", s.Mem)
+	e.RegisterCheckpoint("cache", s.Cache)
+	e.RegisterCheckpoint("monitor", s.Net)
 
 	// Grant each monitor an untyped RAM region for page tables and objects.
 	for c := 0; c < m.NumCores(); c++ {

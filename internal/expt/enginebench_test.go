@@ -1,0 +1,48 @@
+package expt
+
+import "testing"
+
+// TestEngineBenchIdentical is the CI-enforced half of the engine benchmark:
+// wall-clock speedup depends on idle host cores, but byte identity of the
+// final engine image across worker counts must hold anywhere.
+func TestEngineBenchIdentical(t *testing.T) {
+	res := EngineBench(300, []int{2, 4, 8})
+	if len(res) != 4 {
+		t.Fatalf("got %d rows, want 4", len(res))
+	}
+	for _, r := range res[1:] {
+		if !r.Identical {
+			t.Errorf("workers=%d: final engine image differs from serial reference", r.Workers)
+		}
+		if r.Events != res[0].Events {
+			t.Errorf("workers=%d: dispatched %d events, serial dispatched %d", r.Workers, r.Events, res[0].Events)
+		}
+	}
+	if res[0].Events == 0 {
+		t.Fatal("benchmark dispatched no events")
+	}
+}
+
+func TestWarmStartIdentical(t *testing.T) {
+	_, res := WarmStart(3, nil)
+	if !res.Identical {
+		t.Error("warm-started points disagree with cold-booted points")
+	}
+	if res.ImageBytes == 0 {
+		t.Error("boot image is empty")
+	}
+}
+
+// TestWarmStartFromSavedImage covers the mkbench -restore path: a boot image
+// produced by an earlier process (here just an earlier BootImage call) warm
+// starts the sweep with identical results.
+func TestWarmStartFromSavedImage(t *testing.T) {
+	img := BootImage(WarmStartMachine())
+	_, res := WarmStart(2, img)
+	if !res.Identical {
+		t.Error("sweep warm-started from a saved image disagrees with cold boot")
+	}
+	if res.ImageBytes != len(img) {
+		t.Errorf("reported image size %d, supplied %d", res.ImageBytes, len(img))
+	}
+}

@@ -126,6 +126,30 @@ func (f *Fabric) TransferPenalty(a, b topo.SocketID, base sim.Time, rng *sim.RNG
 // Machine returns the machine this fabric belongs to.
 func (f *Fabric) Machine() *topo.Machine { return f.m }
 
+// Lookahead returns the conservative lookahead of partition map pm on
+// machine m: the minimum latency of any coherence transaction crossing a
+// partition boundary. A parallel sub-engine may safely run that many cycles
+// ahead of its peers, because no message sent "now" by another partition can
+// arrive sooner — the cross-partition epoch width of sim.ParallelEngine.
+// With fewer than two partitions there is no cross traffic and the lookahead
+// is unbounded (sim.Forever).
+func Lookahead(m *topo.Machine, pm *topo.PartitionMap) sim.Time {
+	min := sim.Forever
+	for a := 0; a < m.NSockets; a++ {
+		for b := a + 1; b < m.NSockets; b++ {
+			sa, sb := topo.SocketID(a), topo.SocketID(b)
+			if pm.Part(sa) == pm.Part(sb) {
+				continue
+			}
+			lat := m.Costs.RemoteBase + sim.Time(m.Hops(sa, sb))*m.Costs.RemoteHop
+			if lat < min {
+				min = lat
+			}
+		}
+	}
+	return min
+}
+
 // SetMetrics registers the fabric's accumulated state with a registry as lazy
 // counters: totals, retransmits, and the dword count of each physical link in
 // both directions. Sampling happens only at snapshot time, so the charge path

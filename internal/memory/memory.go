@@ -17,8 +17,10 @@ package memory
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
+	"multikernel/internal/ckpt"
 	"multikernel/internal/topo"
 )
 
@@ -225,3 +227,72 @@ func (mem *Memory) StoreBytes(a Addr, b []byte) {
 
 // Size returns the total allocated bytes.
 func (mem *Memory) Size() uint64 { return uint64(mem.next) - LineSize }
+
+// CheckpointState serializes the allocator frontier, the home-run index and
+// every backing page (sorted by page number), implementing sim.Checkpointer.
+func (mem *Memory) CheckpointState(w io.Writer) error {
+	if err := ckpt.WriteU64(w, uint64(mem.next), uint64(len(mem.homes))); err != nil {
+		return err
+	}
+	for _, h := range mem.homes {
+		if err := ckpt.WriteU64(w, uint64(h.start), uint64(h.home)); err != nil {
+			return err
+		}
+	}
+	keys := make([]Addr, 0, len(mem.pages))
+	for k := range mem.pages {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if err := ckpt.WriteU64(w, uint64(len(keys))); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if err := ckpt.WriteU64(w, uint64(k)); err != nil {
+			return err
+		}
+		if err := ckpt.WriteU64(w, mem.pages[k][:]...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestoreState replaces the memory's contents with a serialized image.
+func (mem *Memory) RestoreState(r io.Reader) error {
+	var next, nhomes uint64
+	if err := ckpt.ReadU64(r, &next, &nhomes); err != nil {
+		return err
+	}
+	homes := make([]homeRun, nhomes)
+	for i := range homes {
+		var start, home uint64
+		if err := ckpt.ReadU64(r, &start, &home); err != nil {
+			return err
+		}
+		homes[i] = homeRun{start: LineID(start), home: topo.SocketID(home)}
+	}
+	var npages uint64
+	if err := ckpt.ReadU64(r, &npages); err != nil {
+		return err
+	}
+	pages := make(map[Addr]*page, npages)
+	for i := uint64(0); i < npages; i++ {
+		var key uint64
+		if err := ckpt.ReadU64(r, &key); err != nil {
+			return err
+		}
+		pg := new(page)
+		for j := range pg {
+			if err := ckpt.ReadU64(r, &pg[j]); err != nil {
+				return err
+			}
+		}
+		pages[Addr(key)] = pg
+	}
+	mem.next = Addr(next)
+	mem.homes = homes
+	mem.pages = pages
+	mem.cacheKey, mem.cachePage = ^Addr(0), nil
+	return nil
+}

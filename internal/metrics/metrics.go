@@ -24,10 +24,12 @@
 package metrics
 
 import (
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"multikernel/internal/ckpt"
 	"multikernel/internal/stats"
 )
 
@@ -86,6 +88,92 @@ func (r *Registry) Histogram(name string) *stats.Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// CheckpointState serializes every live counter and histogram, sorted by
+// name, implementing sim.Checkpointer so a registry survives engine
+// checkpoint/restore. Lazy CounterFunc entries are not serialized: they
+// sample component state that is checkpointed (and re-registered) by the
+// components themselves.
+func (r *Registry) CheckpointState(w io.Writer) error {
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if err := ckpt.WriteU64(w, uint64(len(names))); err != nil {
+		return err
+	}
+	for _, n := range names {
+		if err := ckpt.WriteString(w, n); err != nil {
+			return err
+		}
+		if err := ckpt.WriteU64(w, r.counters[n].v); err != nil {
+			return err
+		}
+	}
+	hnames := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	if err := ckpt.WriteU64(w, uint64(len(hnames))); err != nil {
+		return err
+	}
+	for _, n := range hnames {
+		if err := ckpt.WriteString(w, n); err != nil {
+			return err
+		}
+		counts, hn, sum, max := r.hists[n].Raw()
+		if err := ckpt.WriteU64(w, hn, sum, max); err != nil {
+			return err
+		}
+		if err := ckpt.WriteU64Slice(w, counts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestoreState reads back what CheckpointState wrote. Counters and
+// histograms are created on demand and restored in place, so handles already
+// held by components (from build-time registration) observe the restored
+// values.
+func (r *Registry) RestoreState(rd io.Reader) error {
+	var n uint64
+	if err := ckpt.ReadU64(rd, &n); err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		name, err := ckpt.ReadString(rd)
+		if err != nil {
+			return err
+		}
+		var v uint64
+		if err := ckpt.ReadU64(rd, &v); err != nil {
+			return err
+		}
+		r.Counter(name).v = v
+	}
+	if err := ckpt.ReadU64(rd, &n); err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		name, err := ckpt.ReadString(rd)
+		if err != nil {
+			return err
+		}
+		var hn, sum, max uint64
+		if err := ckpt.ReadU64(rd, &hn, &sum, &max); err != nil {
+			return err
+		}
+		counts, err := ckpt.ReadU64Slice(rd)
+		if err != nil {
+			return err
+		}
+		r.Histogram(name).SetRaw(counts, hn, sum, max)
+	}
+	return nil
 }
 
 // Snapshot is a point-in-time copy of a registry, or a merge of several.

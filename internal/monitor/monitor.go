@@ -332,6 +332,20 @@ func (m *Monitor) run(p *sim.Proc) {
 	costs := &m.net.Sys.Machine().Costs
 	idle := 0
 	var burst [recvBurst]urpc.Message
+	if m.parked {
+		// Restored from a checkpoint taken while blocked: this first resume
+		// is the interrupt-driven wakeup, so replay exactly the charges of
+		// the post-Park path below — that equivalence is what makes a
+		// restored run byte-identical to an uninterrupted one.
+		m.parked = false
+		p.Sleep(costs.Trap + costs.CSwitch)
+		for m.down && len(m.fwd) == 0 && len(m.ops) == 0 {
+			p.Sleep(coreDownParkCost)
+			m.parked = true
+			p.Park()
+			m.parked = false
+		}
+	}
 	for {
 		progress := false
 		if req, ok := m.local.TryPop(); ok {

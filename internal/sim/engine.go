@@ -41,11 +41,18 @@ type Time uint64
 const Forever = Time(1) << 62
 
 type event struct {
-	at   Time
-	pri  uint64 // tie-break demotion class; 0 except under a perturb hook
-	seq  uint64
-	p    *Proc  // proc to resume, or nil
-	fn   func() // callback to invoke, if p == nil
+	at  Time
+	pri uint64 // tie-break demotion class; 0 except under a perturb hook
+	seq uint64
+	p   *Proc  // proc to resume, or nil
+	fn  func() // callback to invoke, if p == nil
+	// hfn is the argument-carrying callback variant used for cross-partition
+	// message delivery (ParallelEngine mailboxes): the handler closure is
+	// created once at registration time and the two payload words ride in the
+	// pooled event itself, so steady-state cross-partition traffic schedules
+	// with zero allocation.
+	hfn  func(a, b uint64)
+	a, b uint64
 	next *event // free-list link while pooled
 }
 
@@ -143,6 +150,11 @@ type Engine struct {
 	maxHeap     int    // high-water mark of the event heap
 	wakes       uint64 // proc wakeups delivered via Wake/Unpark
 	contributed bool   // telemetry already handed to the global collectors
+
+	// ckpts are the components serialized into Engine.Checkpoint, in
+	// registration order (see checkpoint.go). The engine's own metrics
+	// registry is always the first entry.
+	ckpts []ckptComponent
 }
 
 // NewEngine returns an engine with its clock at zero and the given RNG seed.
@@ -164,6 +176,9 @@ func NewEngine(seed uint64) *Engine {
 	if trace.Capturing() {
 		e.rec = trace.NewRecorder()
 	}
+	// The registry participates in checkpoint/restore like any model
+	// component, so counters and histograms survive a warm start.
+	e.ckpts = []ckptComponent{{name: "metrics", c: e.met}}
 	return e
 }
 
@@ -236,6 +251,32 @@ func (e *Engine) schedule(d Time, p *Proc, fn func()) {
 	}
 }
 
+// scheduleAt enqueues an engine callback at an absolute virtual time,
+// bypassing the perturb hook (cross-partition delivery times are fixed by the
+// lookahead contract, not schedulable jitter). Used by the parallel engine's
+// mailbox merge and by checkpoint restore.
+func (e *Engine) scheduleAt(at Time, fn func()) {
+	e.seq++
+	ev := e.newEvent()
+	ev.at, ev.seq, ev.fn = at, e.seq, fn
+	e.events.push(ev)
+	if n := len(e.events); n > e.maxHeap {
+		e.maxHeap = n
+	}
+}
+
+// scheduleArgsAt is scheduleAt for the pooled argument-carrying handler form:
+// no closure is created, the payload words travel in the event.
+func (e *Engine) scheduleArgsAt(at Time, hfn func(a, b uint64), a, b uint64) {
+	e.seq++
+	ev := e.newEvent()
+	ev.at, ev.seq, ev.hfn, ev.a, ev.b = at, e.seq, hfn, a, b
+	e.events.push(ev)
+	if n := len(e.events); n > e.maxHeap {
+		e.maxHeap = n
+	}
+}
+
 // After invokes fn at the current time plus d. fn runs in engine context and
 // must not block; to perform blocking work, have fn wake a Proc. Engine
 // callbacks are the fast path: they are dispatched inline with no proc
@@ -292,10 +333,14 @@ func (e *Engine) dispatch() bool {
 			panic("sim: event scheduled in the past")
 		}
 		e.now = ev.at
-		p, fn := ev.p, ev.fn
+		p, fn, hfn, a, b := ev.p, ev.fn, ev.hfn, ev.a, ev.b
 		e.releaseEvent(ev)
 		if fn != nil {
 			fn() // engine-context fast path: no handoff
+			continue
+		}
+		if hfn != nil {
+			hfn(a, b) // mailbox-delivery fast path: pooled event, no closure
 			continue
 		}
 		if p.done {

@@ -1,0 +1,414 @@
+package sim
+
+// Parallel intra-run simulation: conservative ("null-message-free") parallel
+// discrete-event execution over per-partition sub-engines.
+//
+// The machine is partitioned along socket boundaries (topo.PartitionMap);
+// each partition gets its own Engine — heap, clock, RNG stream, metrics
+// registry, procs — running in a worker goroutine. Partitions share no
+// simulated state: all cross-partition interaction goes through explicit
+// messages, mirroring the multikernel's own no-shared-state discipline at
+// the simulator level.
+//
+// Synchronization is the classic conservative-lookahead barrier. The minimum
+// latency of any cross-partition transaction (interconnect.Lookahead) is the
+// epoch width L: during epoch [E, E+L) every partition runs its local events
+// independently, because no message sent by a peer inside the epoch can be
+// due before E+L. Cross-partition sends are appended to the sender's outbox
+// and merged into the destination heaps at the epoch barrier, in (source
+// partition, send order) — a deterministic order independent of how many
+// workers executed the epoch, which is what makes parallel runs byte-
+// identical to serial ones at any worker count. Epochs are aligned to the
+// fixed grid E = k·L, so epoch boundaries — and therefore checkpoint points
+// — do not depend on event timing either.
+//
+// The serial Engine remains the reference implementation: a ParallelEngine
+// with workers=1 executes partitions sequentially on the caller's goroutine
+// with no synchronization, and the determinism gate in parallel_test.go
+// asserts byte-identical traces, metrics and final state across worker
+// counts.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"multikernel/internal/ckpt"
+	"multikernel/internal/metrics"
+)
+
+// HandlerID names a cross-partition message handler registered with
+// RegisterHandler.
+type HandlerID int32
+
+// xsend is one cross-partition message waiting in a source outbox for the
+// epoch barrier. The handler form (h >= 0) carries its payload in two words
+// and schedules with zero allocation; the fn form carries a closure.
+type xsend struct {
+	at   Time
+	dst  int32
+	h    int32 // handler index in the destination's table, or -1 for fn
+	a, b uint64
+	fn   func()
+}
+
+// ParallelEngine coordinates one sub-Engine per partition.
+type ParallelEngine struct {
+	parts     []*Engine
+	lookahead Time
+	workers   int
+
+	handlers [][]func(a, b uint64) // per destination partition
+	outbox   [][]xsend             // per source partition; reused across epochs
+
+	// Worker pool: persistent goroutines released once per epoch; each
+	// claims partitions off the shared counter until none remain.
+	start    []chan struct{}
+	wg       sync.WaitGroup
+	claim    atomic.Int64
+	epochEnd Time
+
+	// Current epoch window. An epoch stays open across run calls when a
+	// RunUntil limit cuts it short; outbox merges happen only when the whole
+	// window has executed, so a staged sequence of RunUntil calls assigns
+	// destination sequence numbers exactly as one uninterrupted Run would.
+	epochStart Time
+	epochLast  Time
+	epochOpen  bool
+
+	stopped atomic.Bool
+	closed  bool
+}
+
+// NewParallelEngine returns a parallel engine with nparts partitions and the
+// given conservative lookahead (the minimum cross-partition message latency;
+// see interconnect.Lookahead). Each partition's Engine draws from its own
+// RNG stream derived from seed, so results are a function of (seed, nparts)
+// alone — never of workers, which only sets the host-goroutine budget and is
+// clamped to [1, nparts].
+func NewParallelEngine(nparts int, lookahead Time, seed uint64, workers int) *ParallelEngine {
+	if nparts < 1 {
+		panic("sim: parallel engine needs at least one partition")
+	}
+	if lookahead == 0 {
+		panic("sim: parallel engine needs a positive lookahead")
+	}
+	pe := &ParallelEngine{lookahead: lookahead}
+	pe.parts = make([]*Engine, nparts)
+	for i := range pe.parts {
+		pe.parts[i] = NewEngine(seed + uint64(i)*0x9e3779b97f4a7c15)
+	}
+	pe.init(workers)
+	return pe
+}
+
+// init sets up outboxes, handler tables and the worker pool on an engine
+// whose parts slice is already populated (construction or restore).
+func (pe *ParallelEngine) init(workers int) {
+	n := len(pe.parts)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	pe.workers = workers
+	pe.handlers = make([][]func(a, b uint64), n)
+	pe.outbox = make([][]xsend, n)
+	if workers > 1 {
+		pe.start = make([]chan struct{}, workers)
+		for i := range pe.start {
+			c := make(chan struct{}, 1)
+			pe.start[i] = c
+			go pe.worker(c)
+		}
+	}
+}
+
+// worker is one pool goroutine: released at each epoch, it claims partitions
+// off the shared counter and runs each to the epoch end.
+func (pe *ParallelEngine) worker(c chan struct{}) {
+	for range c {
+		for {
+			i := int(pe.claim.Add(1)) - 1
+			if i >= len(pe.parts) {
+				break
+			}
+			pe.parts[i].RunUntil(pe.epochEnd)
+		}
+		pe.wg.Done()
+	}
+}
+
+// NParts returns the partition count.
+func (pe *ParallelEngine) NParts() int { return len(pe.parts) }
+
+// Workers returns the effective worker count.
+func (pe *ParallelEngine) Workers() int { return pe.workers }
+
+// Lookahead returns the epoch width in cycles.
+func (pe *ParallelEngine) Lookahead() Time { return pe.lookahead }
+
+// Part returns the sub-engine of partition i, for setup (spawning procs,
+// registering components) and post-run inspection. During Run, partition
+// state must only be touched by that partition's own procs.
+func (pe *ParallelEngine) Part(i int) *Engine { return pe.parts[i] }
+
+// Spawn creates a proc on partition part.
+func (pe *ParallelEngine) Spawn(part int, name string, fn func(p *Proc)) *Proc {
+	return pe.parts[part].Spawn(name, fn)
+}
+
+// RegisterHandler registers a cross-partition message handler on destination
+// partition dst and returns its id. Handlers are registered once during
+// setup; Post then delivers (a, b) payloads to them with zero allocation.
+// Must not be called while Run is in progress.
+func (pe *ParallelEngine) RegisterHandler(dst int, h func(a, b uint64)) HandlerID {
+	pe.handlers[dst] = append(pe.handlers[dst], h)
+	return HandlerID(len(pe.handlers[dst]) - 1)
+}
+
+// Post sends a zero-allocation cross-partition message: handler h on
+// partition dst runs with payload (a, b) at the sender's current time plus
+// delay. It must be called from simulated code of partition src (its procs
+// or engine callbacks), and delay must be at least the lookahead — that is
+// the conservative contract that lets partitions run an epoch unsynchronized.
+func (pe *ParallelEngine) Post(src, dst int, delay Time, h HandlerID, a, b uint64) {
+	if delay < pe.lookahead {
+		panic(fmt.Sprintf("sim: cross-partition delay %d below lookahead %d", delay, pe.lookahead))
+	}
+	pe.outbox[src] = append(pe.outbox[src], xsend{
+		at: pe.parts[src].now + delay, dst: int32(dst), h: int32(h), a: a, b: b,
+	})
+}
+
+// Send is the closure form of Post, for low-rate control messages: fn runs
+// in partition dst's engine context at the sender's time plus delay.
+func (pe *ParallelEngine) Send(src, dst int, delay Time, fn func()) {
+	if delay < pe.lookahead {
+		panic(fmt.Sprintf("sim: cross-partition delay %d below lookahead %d", delay, pe.lookahead))
+	}
+	pe.outbox[src] = append(pe.outbox[src], xsend{
+		at: pe.parts[src].now + delay, dst: int32(dst), h: -1, fn: fn,
+	})
+}
+
+// earliest returns the earliest pending event time across all partitions,
+// or ^Time(0) when every heap is empty.
+func (pe *ParallelEngine) earliest() Time {
+	min := ^Time(0)
+	for _, p := range pe.parts {
+		if len(p.events) > 0 && p.events[0].at < min {
+			min = p.events[0].at
+		}
+	}
+	return min
+}
+
+// runEpoch executes every partition up to and including time last.
+func (pe *ParallelEngine) runEpoch(last Time) {
+	if pe.workers <= 1 {
+		for _, p := range pe.parts {
+			p.RunUntil(last)
+		}
+		return
+	}
+	pe.epochEnd = last
+	pe.claim.Store(0)
+	pe.wg.Add(pe.workers)
+	for _, c := range pe.start {
+		c <- struct{}{}
+	}
+	pe.wg.Wait()
+}
+
+// mergeOutboxes drains every outbox into the destination heaps, in (source
+// partition, send order) — the deterministic merge that decouples results
+// from worker count. Outbox slices keep their capacity across epochs, so the
+// steady-state barrier path does not allocate.
+func (pe *ParallelEngine) mergeOutboxes() {
+	for src := range pe.outbox {
+		box := pe.outbox[src]
+		for i := range box {
+			s := &box[i]
+			d := pe.parts[s.dst]
+			if s.h >= 0 {
+				d.scheduleArgsAt(s.at, pe.handlers[s.dst][s.h], s.a, s.b)
+			} else {
+				d.scheduleAt(s.at, s.fn)
+				s.fn = nil // drop the closure reference while pooled
+			}
+		}
+		pe.outbox[src] = box[:0]
+	}
+}
+
+// run executes barrier epochs until no events remain at or before limit, or
+// Stop is called. When limit lands inside an epoch, the window stays open —
+// partitions have run only part of it and cross-partition sends stay in the
+// outboxes — and the next call resumes it. Merging happens only once the full
+// window has executed: every message sent inside epoch [E, E+L) is due at or
+// after E+L, so deferring the merge to the true barrier is always safe, and it
+// keeps destination heaps (and their sequence numbers) byte-identical between
+// a staged sequence of RunUntil calls and one uninterrupted Run.
+func (pe *ParallelEngine) run(limit Time) {
+	pe.stopped.Store(false)
+	for !pe.stopped.Load() {
+		if !pe.epochOpen {
+			// Deliver sends Posted from driver context between runs (seeding
+			// work onto a quiescent or freshly-restored engine). At a closed
+			// epoch every partition clock is below any send's due time, and in
+			// the steady state the outboxes are already empty here.
+			pe.mergeOutboxes()
+			next := pe.earliest()
+			if next == ^Time(0) || next > limit {
+				return
+			}
+			// Epoch [start, start+L) on the fixed grid start = k·L.
+			start := next - next%pe.lookahead
+			last := start + pe.lookahead - 1
+			if last < start { // start+L overflowed
+				last = ^Time(0)
+			}
+			pe.epochStart, pe.epochLast, pe.epochOpen = start, last, true
+		}
+		if pe.epochLast > limit {
+			pe.runEpoch(limit)
+			return // window still open; outboxes keep their pending sends
+		}
+		pe.runEpoch(pe.epochLast)
+		pe.mergeOutboxes()
+		pe.epochOpen = false
+	}
+}
+
+// Run processes events in all partitions until every heap is empty or Stop
+// is called.
+func (pe *ParallelEngine) Run() { pe.run(^Time(0)) }
+
+// RunUntil processes events in all partitions up to and including virtual
+// time t, then advances every partition clock to t.
+func (pe *ParallelEngine) RunUntil(t Time) {
+	pe.run(t)
+	for _, p := range pe.parts {
+		if p.now < t {
+			p.now = t
+		}
+	}
+}
+
+// Stop makes Run return at the next epoch barrier. It is safe to call from
+// simulated code in any partition; because it takes effect at the barrier,
+// the stopping point is the same at every worker count.
+func (pe *ParallelEngine) Stop() { pe.stopped.Store(true) }
+
+// Deadlocked reports non-daemon procs parked with no pending wakeup across
+// all partitions, each prefixed with its partition ("p3/core-12"). A
+// cross-partition deadlock — a proc waiting on a message its peer partition
+// never sends — drains every heap and shows up here, exactly like a local
+// one.
+func (pe *ParallelEngine) Deadlocked() []string {
+	var out []string
+	for i, p := range pe.parts {
+		for _, name := range p.Deadlocked() {
+			out = append(out, fmt.Sprintf("p%d/%s", i, name))
+		}
+	}
+	return out
+}
+
+// MetricsSnapshot merges every partition's registry into one snapshot.
+func (pe *ParallelEngine) MetricsSnapshot() metrics.Snapshot {
+	var s metrics.Snapshot
+	for _, p := range pe.parts {
+		s.Merge(p.Metrics().Snapshot())
+	}
+	return s
+}
+
+// Close shuts down the worker pool and closes every partition engine in
+// partition order, releasing proc goroutines and flushing telemetry.
+func (pe *ParallelEngine) Close() {
+	if pe.closed {
+		return
+	}
+	pe.closed = true
+	for _, c := range pe.start {
+		close(c)
+	}
+	for _, p := range pe.parts {
+		p.Close()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/restore: a parallel checkpoint is the per-partition engine
+// images plus the epoch geometry. Engine.Checkpoint's quiescence rule
+// applies per partition; pending cross-partition deliveries are engine
+// callbacks and are rejected there, so a parallel image is always taken at a
+// barrier with empty mailboxes.
+
+const pckptMagic = "MKPCKP1\n"
+
+// Checkpoint serializes all partitions to w. Call between Run calls.
+func (pe *ParallelEngine) Checkpoint(w io.Writer) error {
+	for i := range pe.outbox {
+		if len(pe.outbox[i]) > 0 {
+			return fmt.Errorf("sim: checkpoint with undelivered cross-partition messages from partition %d (mid-epoch)", i)
+		}
+	}
+	if err := ckpt.Magic(w, pckptMagic); err != nil {
+		return err
+	}
+	if err := ckpt.WriteU64(w, uint64(len(pe.parts)), uint64(pe.lookahead)); err != nil {
+		return err
+	}
+	var blob bytes.Buffer
+	for i, p := range pe.parts {
+		blob.Reset()
+		if err := p.Checkpoint(&blob); err != nil {
+			return fmt.Errorf("sim: checkpoint partition %d: %w", i, err)
+		}
+		if err := ckpt.WriteBytes(w, blob.Bytes()); err != nil {
+			return err
+		}
+	}
+	return ckpt.Magic(w, ckptTrailer)
+}
+
+// RestoreParallel reads a parallel checkpoint. build reconstructs partition
+// part's host-side graph on its fresh engine (see Restore for the
+// contract); it may also use pe to re-register cross-partition handlers,
+// which — like all engine callbacks — are never part of the serialized
+// image.
+func RestoreParallel(r io.Reader, workers int, build func(pe *ParallelEngine, part int, e *Engine)) (*ParallelEngine, error) {
+	if err := ckpt.ExpectMagic(r, pckptMagic); err != nil {
+		return nil, err
+	}
+	var nparts, lookahead uint64
+	if err := ckpt.ReadU64(r, &nparts, &lookahead); err != nil {
+		return nil, err
+	}
+	if nparts < 1 || lookahead == 0 {
+		return nil, fmt.Errorf("sim: corrupt parallel checkpoint header (%d parts, lookahead %d)", nparts, lookahead)
+	}
+	pe := &ParallelEngine{lookahead: Time(lookahead), parts: make([]*Engine, nparts)}
+	pe.init(workers)
+	for i := range pe.parts {
+		blob, err := ckpt.ReadBytes(r)
+		if err != nil {
+			return nil, err
+		}
+		e, err := Restore(bytes.NewReader(blob), func(e *Engine) { build(pe, i, e) })
+		if err != nil {
+			return nil, fmt.Errorf("sim: restore partition %d: %w", i, err)
+		}
+		pe.parts[i] = e
+	}
+	if err := ckpt.ExpectMagic(r, ckptTrailer); err != nil {
+		return nil, err
+	}
+	return pe, nil
+}

@@ -1,0 +1,86 @@
+//go:build !race
+
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestEpochBarrierAllocs pins the zero-allocation contract of the
+// steady-state epoch path: pooled events carry cross-partition payloads (no
+// closure per message) and outbox slices keep their capacity across epochs,
+// so once the heaps and outboxes are warm, running epochs of pure
+// cross-partition traffic performs no heap allocation. Gated out under -race
+// because the race runtime instruments allocations.
+func TestEpochBarrierAllocs(t *testing.T) {
+	const nparts = 4
+	L := Time(500)
+	for _, workers := range []int{1, nparts} {
+		pe := NewParallelEngine(nparts, L, 3, workers)
+		for i := 0; i < nparts; i++ {
+			i := i
+			// Perpetual ring: forward immediately from the handler — the
+			// pooled-event path with no closures anywhere.
+			pe.RegisterHandler(i, func(v, hop uint64) {
+				pe.Post(i, (i+1)%nparts, L, 0, v, hop)
+			})
+		}
+		for i := 0; i < nparts; i++ {
+			for k := 0; k < 8; k++ {
+				pe.Post(i, (i+1)%nparts, L, 0, uint64(i*8+k), 0)
+			}
+		}
+		// Warm up: grow heaps, outbox capacity, the event free lists and the
+		// worker pool's steady state.
+		end := 50 * L
+		pe.RunUntil(end)
+		avg := testing.AllocsPerRun(20, func() {
+			end += 10 * L
+			pe.RunUntil(end)
+		})
+		pe.Stop()
+		pe.Close()
+		if avg > 0 {
+			t.Errorf("workers=%d: steady-state epoch path allocates %.1f objects per 10 epochs, want 0", workers, avg)
+		}
+	}
+}
+
+// BenchmarkParallelEnginePinned is the fixed-cycle engine benchmark consumed
+// by ci/traceguard: a deterministic cross-partition storm over a pinned
+// virtual-time window, reported as simulated events per wall-second. The
+// sub-benchmarks pin the worker count so serial and parallel engine
+// executions are tracked side by side.
+func BenchmarkParallelEnginePinned(b *testing.B) {
+	const nparts = 4
+	L := Time(500)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				pe := NewParallelEngine(nparts, L, 3, workers)
+				for p := 0; p < nparts; p++ {
+					p := p
+					pe.RegisterHandler(p, func(v, hop uint64) {
+						pe.Post(p, (p+1)%nparts, L+Time(v%63), 0, v+1, hop)
+					})
+					e := pe.Part(p)
+					pe.Spawn(p, fmt.Sprintf("local%d", p), func(pr *Proc) {
+						for pr.Now() < 2000*L {
+							pr.Sleep(1 + e.RNG().Time(100))
+						}
+					})
+				}
+				for p := 0; p < nparts; p++ {
+					pe.Post(p, (p+1)%nparts, L, 0, uint64(p), 0)
+				}
+				pe.RunUntil(2000 * L)
+				events = pe.MetricsSnapshot().Counters["sim.events_dispatched"]
+				pe.Stop()
+				pe.Close()
+			}
+			b.ReportMetric(float64(events), "simevents/op")
+		})
+	}
+}

@@ -1,0 +1,329 @@
+package sim
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"multikernel/internal/trace"
+)
+
+// The determinism gate for the parallel engine: a token ring crossing every
+// partition boundary plus per-partition background load, run at several worker
+// counts, must produce byte-identical traces, metrics, final clocks and final
+// checkpoint images. The workload is deliberately irregular — RNG-driven local
+// sleeps, RNG-dependent forwarding delays, parked daemons woken by message
+// handlers — so any schedule divergence between worker counts shows up.
+
+const (
+	ringParts     = 4
+	ringLookahead = Time(460)
+	ringHops      = 200
+)
+
+// ringSetup registers partition i's message handler (always HandlerID 0: one
+// handler per partition, registered in partition order) and spawns its parked
+// sink daemon. The handler counts the token, wakes the sink, and forwards the
+// token to the next partition with an RNG-flavored delay at or above the
+// lookahead.
+func ringSetup(pe *ParallelEngine, i int) { ringSetupOn(pe, i, pe.Part(i)) }
+
+// ringSetupOn is ringSetup against an explicit engine, the form a
+// RestoreParallel builder needs (pe.Part(i) is not wired yet during restore).
+// The sink follows the checkpoint-restart-safe shape: durable progress lives
+// in counters and the condition is re-checked before parking, so a restored
+// sink entering its function from the top behaves exactly like one returning
+// from Park.
+func ringSetupOn(pe *ParallelEngine, i int, e *Engine) {
+	tokens := e.Metrics().Counter("ring.tokens")
+	sinkWakes := e.Metrics().Counter("ring.sink_wakes")
+	sink := e.Spawn(fmt.Sprintf("sink%d", i), func(p *Proc) {
+		p.SetDaemon(true)
+		for {
+			for sinkWakes.Value() < tokens.Value() {
+				sinkWakes.Inc()
+			}
+			p.Park()
+		}
+	})
+	pe.RegisterHandler(i, func(v, hop uint64) {
+		tokens.Inc()
+		e.Tracer().Emit(uint64(e.Now()), trace.Instant, trace.SubSim, int32(i), "ring.recv", v, hop)
+		e.Wake(sink)
+		if hop == 0 {
+			return
+		}
+		// Local work before forwarding, then a cross-partition send with a
+		// value-dependent delay ≥ lookahead.
+		e.After(1+e.RNG().Time(97), func() {
+			pe.Post(i, (i+1)%pe.NParts(), ringLookahead+Time(v%31), 0, v*0x9e3779b9+uint64(i), hop-1)
+		})
+	})
+}
+
+// ringLocals spawns partition i's background chatter: a proc doing a few
+// hundred RNG sleeps, contributing local events that interleave with token
+// handling inside every epoch.
+func ringLocals(pe *ParallelEngine, i int) {
+	e := pe.Part(i)
+	pe.Spawn(i, fmt.Sprintf("local%d", i), func(p *Proc) {
+		for j := 0; j < 300; j++ {
+			p.Sleep(1 + e.RNG().Time(50))
+		}
+	})
+}
+
+// ringSeed injects one token per partition, each with the given hop budget.
+func ringSeed(pe *ParallelEngine, hops uint64) {
+	for i := 0; i < pe.NParts(); i++ {
+		pe.Post(i, (i+1)%pe.NParts(), ringLookahead, 0, uint64(i+1)*12345, hops)
+	}
+}
+
+func buildRing(workers int) *ParallelEngine {
+	pe := NewParallelEngine(ringParts, ringLookahead, 7, workers)
+	for i := 0; i < ringParts; i++ {
+		ringSetup(pe, i)
+		ringLocals(pe, i)
+	}
+	return pe
+}
+
+type ringResult struct {
+	ckpt      []byte
+	metrics   []byte
+	traceHash [32]byte
+	clocks    []Time
+	tokens    uint64
+}
+
+func runRing(t *testing.T, workers int) ringResult {
+	t.Helper()
+	trace.StartCapture()
+	defer trace.StopCapture()
+	pe := buildRing(workers)
+	ringSeed(pe, ringHops)
+	pe.Run()
+	if dl := pe.Deadlocked(); len(dl) > 0 {
+		t.Fatalf("workers=%d: deadlocked procs %v", workers, dl)
+	}
+	var img bytes.Buffer
+	if err := pe.Checkpoint(&img); err != nil {
+		t.Fatalf("workers=%d: checkpoint: %v", workers, err)
+	}
+	snap := pe.MetricsSnapshot()
+	js, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clocks := make([]Time, pe.NParts())
+	for i := range clocks {
+		clocks[i] = pe.Part(i).Now()
+	}
+	pe.Close()
+	var buf bytes.Buffer
+	if err := trace.WriteCaptured(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return ringResult{
+		ckpt:      img.Bytes(),
+		metrics:   js,
+		traceHash: sha256.Sum256(buf.Bytes()),
+		clocks:    clocks,
+		tokens:    snap.Counters["ring.tokens"],
+	}
+}
+
+func TestParallelDeterminismAcrossWorkers(t *testing.T) {
+	ref := runRing(t, 1)
+	// Each of the ringParts tokens is received hops+1 times.
+	if want := uint64(ringParts * (ringHops + 1)); ref.tokens != want {
+		t.Fatalf("serial reference received %d tokens, want %d", ref.tokens, want)
+	}
+	for _, w := range []int{2, 3, 4, 8} {
+		got := runRing(t, w)
+		if !bytes.Equal(got.ckpt, ref.ckpt) {
+			t.Errorf("workers=%d: final checkpoint image differs from serial reference", w)
+		}
+		if !bytes.Equal(got.metrics, ref.metrics) {
+			t.Errorf("workers=%d: merged metrics differ from serial reference\n got: %s\nwant: %s", w, got.metrics, ref.metrics)
+		}
+		if got.traceHash != ref.traceHash {
+			t.Errorf("workers=%d: trace bytes differ from serial reference", w)
+		}
+		for i := range ref.clocks {
+			if got.clocks[i] != ref.clocks[i] {
+				t.Errorf("workers=%d: partition %d clock %d, want %d", w, i, got.clocks[i], ref.clocks[i])
+			}
+		}
+	}
+}
+
+// TestParallelRunUntilStaged checks that chopping a run into arbitrary
+// RunUntil slices — epoch-aligned, mid-epoch, and a final open-ended Run — is
+// indistinguishable from one uninterrupted Run, at every worker count: same
+// metrics, same final checkpoint bytes (which cover clocks, heaps, sequence
+// numbers and RNG streams). It also checks the clock contract: after
+// RunUntil(t), every partition clock reads exactly t.
+func TestParallelRunUntilStaged(t *testing.T) {
+	finish := func(pe *ParallelEngine) ([]byte, []byte) {
+		if dl := pe.Deadlocked(); len(dl) > 0 {
+			t.Fatalf("deadlocked procs %v", dl)
+		}
+		var img bytes.Buffer
+		if err := pe.Checkpoint(&img); err != nil {
+			t.Fatalf("checkpoint: %v", err)
+		}
+		js, err := json.Marshal(pe.MetricsSnapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pe.Close()
+		return img.Bytes(), js
+	}
+
+	pe := buildRing(1)
+	ringSeed(pe, ringHops)
+	pe.Run()
+	refImg, refJS := finish(pe)
+
+	L := ringLookahead
+	cuts := []Time{3*L - 1, 3 * L, 10*L + 123, 10*L + 124, 40 * L}
+	for _, w := range []int{1, 2, 4} {
+		pe := buildRing(w)
+		ringSeed(pe, ringHops)
+		for _, cut := range cuts {
+			pe.RunUntil(cut)
+			for i := 0; i < pe.NParts(); i++ {
+				if now := pe.Part(i).Now(); now != cut {
+					t.Fatalf("workers=%d: after RunUntil(%d) partition %d clock is %d", w, cut, i, now)
+				}
+			}
+		}
+		pe.Run()
+		img, js := finish(pe)
+		if !bytes.Equal(img, refImg) {
+			t.Errorf("workers=%d: staged run's final checkpoint differs from uninterrupted run", w)
+		}
+		if !bytes.Equal(js, refJS) {
+			t.Errorf("workers=%d: staged run's metrics differ from uninterrupted run", w)
+		}
+	}
+}
+
+// TestParallelCrossPartitionDeadlock is the regression test for deadlock
+// detection spanning partitions: a proc parked in partition 0 waiting for a
+// message partition 1 never sends must drain every heap and be reported, with
+// its partition prefix, just like a local deadlock.
+func TestParallelCrossPartitionDeadlock(t *testing.T) {
+	pe := NewParallelEngine(2, ringLookahead, 1, 2)
+	defer pe.Close()
+	pe.Spawn(0, "waiter", func(p *Proc) { p.Park() })
+	pe.Spawn(1, "busy", func(p *Proc) {
+		for i := 0; i < 50; i++ {
+			p.Sleep(100)
+		}
+	})
+	pe.Run()
+	dl := pe.Deadlocked()
+	if len(dl) != 1 || dl[0] != "p0/waiter" {
+		t.Fatalf("Deadlocked() = %v, want [p0/waiter]", dl)
+	}
+}
+
+// TestParallelCrossPartitionWake is the positive counterpart: the same shape,
+// but partition 1 does send the wakeup message, so the run quiesces cleanly
+// and the waiter observes the sender's virtual time plus the message delay.
+func TestParallelCrossPartitionWake(t *testing.T) {
+	pe := NewParallelEngine(2, ringLookahead, 1, 2)
+	defer pe.Close()
+	var wokeAt Time
+	waiter := pe.Spawn(0, "waiter", func(p *Proc) {
+		p.Park()
+		wokeAt = p.Now()
+	})
+	h := pe.RegisterHandler(0, func(a, b uint64) { pe.Part(0).Wake(waiter) })
+	pe.Spawn(1, "sender", func(p *Proc) {
+		p.Sleep(100)
+		pe.Post(1, 0, ringLookahead, h, 0, 0)
+	})
+	pe.Run()
+	if dl := pe.Deadlocked(); len(dl) != 0 {
+		t.Fatalf("Deadlocked() = %v, want none", dl)
+	}
+	if want := Time(100) + ringLookahead; wokeAt != want {
+		t.Fatalf("waiter woke at t=%d, want %d", wokeAt, want)
+	}
+}
+
+func TestParallelPostBelowLookaheadPanics(t *testing.T) {
+	pe := NewParallelEngine(2, ringLookahead, 1, 1)
+	defer pe.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Post with delay below lookahead did not panic")
+		}
+	}()
+	pe.Post(0, 1, ringLookahead-1, 0, 0, 0)
+}
+
+// TestParallelStopAtBarrier checks that Stop from simulated code halts at the
+// epoch barrier at the same point regardless of worker count, and that Run can
+// then resume to completion with results identical to a never-stopped run.
+func TestParallelStopAtBarrier(t *testing.T) {
+	run := func(w int, stop bool) ([]Time, []byte) {
+		pe := buildRing(w)
+		ringSeed(pe, ringHops)
+		// The timer event exists in both variants so the engines' scheduling
+		// state stays comparable; only whether it stops the run differs.
+		pe.Part(0).After(20*ringLookahead+7, func() {
+			if stop {
+				pe.Stop()
+			}
+		})
+		pe.Run()
+		stopped := make([]Time, pe.NParts())
+		for i := range stopped {
+			stopped[i] = pe.Part(i).Now()
+		}
+		pe.Run() // resume to completion
+		var img bytes.Buffer
+		if err := pe.Checkpoint(&img); err != nil {
+			t.Fatalf("workers=%d: checkpoint: %v", w, err)
+		}
+		pe.Close()
+		return stopped, img.Bytes()
+	}
+	refStop, refImg := run(1, true)
+	_, cleanImg := run(1, false)
+	if !bytes.Equal(refImg, cleanImg) {
+		t.Error("stop+resume run differs from never-stopped run")
+	}
+	for _, w := range []int{2, 4} {
+		stopped, img := run(w, true)
+		for i := range refStop {
+			if stopped[i] != refStop[i] {
+				t.Errorf("workers=%d: stopped with partition %d at t=%d, want %d", w, i, stopped[i], refStop[i])
+			}
+		}
+		if !bytes.Equal(img, refImg) {
+			t.Errorf("workers=%d: stop+resume final image differs from serial reference", w)
+		}
+	}
+}
+
+// TestParallelWorkerClamp checks the worker budget is clamped to [1, nparts].
+func TestParallelWorkerClamp(t *testing.T) {
+	pe := NewParallelEngine(3, ringLookahead, 1, 64)
+	if pe.Workers() != 3 {
+		t.Errorf("Workers() = %d, want clamp to 3", pe.Workers())
+	}
+	pe.Close()
+	pe = NewParallelEngine(3, ringLookahead, 1, 0)
+	if pe.Workers() != 1 {
+		t.Errorf("Workers() = %d, want clamp to 1", pe.Workers())
+	}
+	pe.Close()
+}

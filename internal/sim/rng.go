@@ -12,6 +12,12 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed + 0x9e3779b97f4a7c15}
 }
 
+// State returns the generator's internal state, for checkpointing.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState restores a state previously returned by State.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Uint64 returns the next 64-bit value.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -78,6 +78,20 @@ func (h *Histogram) Merge(o *Histogram) {
 	}
 }
 
+// Raw returns the histogram's complete internal state — bucket counts,
+// observation count, sum and max — for checkpoint serialization.
+func (h *Histogram) Raw() (counts []uint64, n, sum, max uint64) {
+	return h.counts[:], h.n, h.sum, h.max
+}
+
+// SetRaw restores state previously obtained from Raw. counts longer than the
+// bucket array is an error from a newer format; shorter is zero-padded.
+func (h *Histogram) SetRaw(counts []uint64, n, sum, max uint64) {
+	h.counts = [histBuckets]uint64{}
+	copy(h.counts[:], counts)
+	h.n, h.sum, h.max = n, sum, max
+}
+
 // HistBucket is one non-empty bucket of a summary: Count observations were
 // ≤ Le (and greater than the previous bucket's Le).
 type HistBucket struct {

@@ -1,0 +1,43 @@
+package urpc
+
+// Checkpoint serialization for one channel's Go-side protocol state. The
+// ring and ack lines themselves live in simulated memory and travel with the
+// memory image; this blob carries the sender/receiver cursors and counters
+// that shadow them. A channel with a parked receiver (blocked != nil) is not
+// quiescent — the wait is a goroutine state the image cannot carry — so it
+// is an error, matching the engine-level quiescence rule.
+
+import (
+	"fmt"
+	"io"
+
+	"multikernel/internal/ckpt"
+)
+
+// chDead is the channel flag bit in the serialized image.
+const chDead = 1 << iota
+
+// CheckpointState serializes the channel's cursors, flags and counters.
+func (c *Channel) CheckpointState(w io.Writer) error {
+	if c.blocked != nil {
+		return fmt.Errorf("urpc: channel %d->%d has a blocked receiver (not quiescent)", c.Sender, c.Receiver)
+	}
+	var flags uint64
+	if c.dead {
+		flags |= chDead
+	}
+	return ckpt.WriteU64(w, c.sendSeq, c.recvSeq, c.sendAcked, c.published, flags,
+		c.stats.Sent, c.stats.Received, c.stats.FullStall, c.stats.Notifies)
+}
+
+// RestoreState reads back what CheckpointState wrote.
+func (c *Channel) RestoreState(r io.Reader) error {
+	var flags uint64
+	if err := ckpt.ReadU64(r, &c.sendSeq, &c.recvSeq, &c.sendAcked, &c.published, &flags,
+		&c.stats.Sent, &c.stats.Received, &c.stats.FullStall, &c.stats.Notifies); err != nil {
+		return err
+	}
+	c.dead = flags&chDead != 0
+	c.blocked = nil
+	return nil
+}
