@@ -219,6 +219,12 @@ func main() {
 			showFig("faults-latency", lat)
 			showFig("faults-throughput", thr)
 		}},
+		{"kvfault", func() {
+			lat, thr, tab := expt.KVFault(*faultSeed)
+			showFig("kvfault-latency", lat)
+			showFig("kvfault-throughput", thr)
+			showTab(tab)
+		}},
 		{"urpcv2", func() {
 			showFig("urpcv2-depth", expt.URPCv2Depth(30*iters))
 			showFig("urpcv2-size", expt.URPCv2Size(3*iters))

@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -165,9 +166,9 @@ func TestKVServiceOverURPC(t *testing.T) {
 	done := false
 	e.Spawn("web", func(p *sim.Proc) {
 		for i := uint64(0); i < 20; i++ {
-			v, ok := cli.Select(p, i)
-			if !ok || v != i*2654435761+1 {
-				t.Errorf("remote select(%d) = %d, %v", i, v, ok)
+			v, ok, err := cli.Select(p, i)
+			if err != nil || !ok || v != i*2654435761+1 {
+				t.Errorf("remote select(%d) = %d, %v, %v", i, v, ok, err)
 			}
 		}
 		done = true
@@ -175,6 +176,39 @@ func TestKVServiceOverURPC(t *testing.T) {
 	e.Run()
 	if !done {
 		t.Fatal("client did not finish")
+	}
+}
+
+// A dead service core must turn into ErrChannelDead on every client path,
+// not a deadlock (the pre-fault-awareness client parked forever).
+func TestKVClientSurvivesDeadService(t *testing.T) {
+	e, sys := newSys(topo.AMD2x2())
+	defer e.Close()
+	kv := NewKVStore(sys, 1, 100)
+	svc := NewKVService(e, kv)
+	cli := svc.Connect(3)
+	cli.Timeout = 2_000_000 // short deadline keeps the test fast
+	var errSel, errUpd, errMany, errRange error
+	e.Spawn("cli", func(p *sim.Proc) {
+		if _, ok, err := cli.Select(p, 1); err != nil || !ok {
+			t.Errorf("select against live service failed: ok=%v err=%v", ok, err)
+		}
+		svc.FailStop()
+		_, _, errSel = cli.Select(p, 2)
+		_, errUpd = cli.Update(p, 3, 9)
+		_, _, errMany = cli.SelectMany(p, []uint64{4, 5})
+		_, errRange = cli.SelectRange(p, 0, 10)
+	})
+	e.Run()
+	for name, err := range map[string]error{
+		"select": errSel, "update": errUpd, "selectmany": errMany, "selectrange": errRange,
+	} {
+		if !errors.Is(err, ErrChannelDead) {
+			t.Errorf("%s after service death: err = %v, want ErrChannelDead", name, err)
+		}
+	}
+	if !cli.Dead() {
+		t.Error("client connection not marked dead after verdict")
 	}
 }
 

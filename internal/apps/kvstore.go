@@ -2,6 +2,7 @@ package apps
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -148,6 +149,11 @@ func NewKVService(e *sim.Engine, kv *KVStore) *KVService {
 	return s
 }
 
+// FailStop kills the service process at the current virtual time — the
+// fault-injection notion of the service core dying. Clients are not told;
+// they learn through their own deadlines.
+func (s *KVService) FailStop() { s.eng.Kill(s.proc) }
+
 // Connect returns a client handle for a caller on the given core.
 func (s *KVService) Connect(client topo.CoreID) *KVClient {
 	sys := s.kv.sys
@@ -161,7 +167,7 @@ func (s *KVService) Connect(client topo.CoreID) *KVClient {
 	s.rsps = append(s.rsps, rsp)
 	s.bulks = append(s.bulks, bulk)
 	s.eng.Wake(s.proc)
-	return &KVClient{req: req, rsp: rsp, bulk: bulk, svc: s}
+	return &KVClient{req: req, rsp: rsp, bulk: bulk, svc: s, Timeout: DefaultKVTimeout}
 }
 
 func (s *KVService) loop(p *sim.Proc) {
@@ -243,60 +249,116 @@ func (s *KVService) serveRange(p *sim.Proc, client int, lo, hi uint64) int {
 	return n
 }
 
+// Typed client errors. A dead service core used to park its clients forever
+// (plain Send/Recv); every request path now runs under a deadline and
+// surfaces the ChannelDead verdict instead.
+var (
+	// ErrChannelDead reports that the service channel carries (or just
+	// earned) a ChannelDead verdict: the request ring stayed full or the
+	// response never came within the deadline, the fail-stop signature.
+	ErrChannelDead = errors.New("kv: service channel dead")
+	// ErrDegraded reports admission control shedding a write because the
+	// shard is below its replication target; the operation was not applied
+	// and may be retried once re-replication completes.
+	ErrDegraded = errors.New("kv: shard degraded below replication target")
+	// ErrRetriesExhausted reports that a fault-aware client ran out of retry
+	// budget without finding a live primary for the key's shard.
+	ErrRetriesExhausted = errors.New("kv: retries exhausted")
+)
+
+// DefaultKVTimeout is the per-call deadline for KVClient operations: generous
+// against queueing behind other clients' bursts on a saturated database core
+// (§5.4 runs it at saturation, ~800k cycles per query), but finite, so a
+// fail-stopped service core turns into ErrChannelDead instead of a deadlock.
+const DefaultKVTimeout sim.Time = 50_000_000
+
 // KVClient is a connected caller.
 type KVClient struct {
 	req  *urpc.Channel
 	rsp  *urpc.Channel
 	bulk *urpc.BulkChannel
 	svc  *KVService
+
+	// Timeout bounds each request/response exchange; Connect sets it to
+	// DefaultKVTimeout.
+	Timeout sim.Time
 }
+
+// fail renders the ChannelDead verdict on both directions: once a deadline
+// expired, request/response matching is lost, so the connection is retired
+// rather than resynchronized.
+func (c *KVClient) fail() {
+	c.req.MarkDead()
+	c.rsp.MarkDead()
+}
+
+// Dead reports whether this connection carries a ChannelDead verdict.
+func (c *KVClient) Dead() bool { return c.req.Dead() || c.rsp.Dead() }
 
 // Select performs a synchronous remote SELECT.
 //
 // When tracing is on, the call is bracketed by "kv.select" async events so
 // the linearizability checker can reconstruct the operation history from the
 // trace alone: ID is serial<<20|key (keys are assumed < 2^20) and the end
-// Arg packs the result as 2*value+found.
-func (c *KVClient) Select(p *sim.Proc, key uint64) (uint64, bool) {
+// Arg packs the result as 2*value+found. A failed call emits no end event —
+// in the reconstructed history it is an operation that never returned.
+func (c *KVClient) Select(p *sim.Proc, key uint64) (uint64, bool, error) {
 	rec := c.svc.eng.Tracer()
 	var id uint64
 	if rec != nil {
 		id = c.svc.eng.Serial()<<20 | key
 		rec.Emit(uint64(p.Now()), trace.AsyncBegin, trace.SubApp, int32(c.req.Sender), "kv.select", id, 0)
 	}
-	c.req.Send(p, urpc.Message{key})
+	if !c.req.SendTimeout(p, urpc.Message{key}, c.Timeout) {
+		c.fail()
+		return 0, false, ErrChannelDead
+	}
 	c.svc.eng.Wake(c.svc.proc) // notify a parked service
-	m := c.rsp.Recv(p)
+	m, ok := c.rsp.RecvTimeout(p, c.Timeout)
+	if !ok {
+		c.fail()
+		return 0, false, ErrChannelDead
+	}
 	if rec != nil {
 		rec.Emit(uint64(p.Now()), trace.AsyncEnd, trace.SubApp, int32(c.req.Sender), "kv.select", id, 2*m[0]+m[1])
 	}
-	return m[0], m[1] == 1
+	return m[0], m[1] == 1, nil
 }
 
 // Update performs a synchronous remote UPDATE, reporting whether the key
 // existed. Traced as "kv.update" async events (ID as in Select; the begin
-// Arg carries the new value, the end Arg the applied flag).
-func (c *KVClient) Update(p *sim.Proc, key, val uint64) bool {
+// Arg carries the new value, the end Arg the applied flag). A failed call
+// emits no end event: the write may or may not have been applied, exactly
+// the ambiguity the linearizability checker models for incomplete writes.
+func (c *KVClient) Update(p *sim.Proc, key, val uint64) (bool, error) {
 	rec := c.svc.eng.Tracer()
 	var id uint64
 	if rec != nil {
 		id = c.svc.eng.Serial()<<20 | key
 		rec.Emit(uint64(p.Now()), trace.AsyncBegin, trace.SubApp, int32(c.req.Sender), "kv.update", id, val)
 	}
-	c.req.Send(p, urpc.Message{key, val, kvOpUpdate})
+	if !c.req.SendTimeout(p, urpc.Message{key, val, kvOpUpdate}, c.Timeout) {
+		c.fail()
+		return false, ErrChannelDead
+	}
 	c.svc.eng.Wake(c.svc.proc)
-	m := c.rsp.Recv(p)
+	m, ok := c.rsp.RecvTimeout(p, c.Timeout)
+	if !ok {
+		c.fail()
+		return false, ErrChannelDead
+	}
 	if rec != nil {
 		rec.Emit(uint64(p.Now()), trace.AsyncEnd, trace.SubApp, int32(c.req.Sender), "kv.update", id, m[1])
 	}
-	return m[1] == 1
+	return m[1] == 1, nil
 }
 
 // SelectMany pipelines point SELECTs: keys go out as vectored batches sized
 // to the response ring (so the server can never block on a full reply ring),
 // and replies are drained in bursts. Results are positional; found[i] reports
-// whether keys[i] matched.
-func (c *KVClient) SelectMany(p *sim.Proc, keys []uint64) (vals []uint64, found []bool) {
+// whether keys[i] matched. On ErrChannelDead the returned slices hold the
+// results that arrived before the verdict.
+func (c *KVClient) SelectMany(p *sim.Proc, keys []uint64) (vals []uint64, found []bool, err error) {
 	window := c.rsp.Slots()
 	reqs := make([]urpc.Message, 0, window)
 	rbuf := make([]urpc.Message, window)
@@ -309,15 +371,24 @@ func (c *KVClient) SelectMany(p *sim.Proc, keys []uint64) (vals []uint64, found 
 		for _, k := range keys[:n] {
 			reqs = append(reqs, urpc.Message{k})
 		}
-		c.req.SendBatch(p, reqs)
+		if c.req.SendBatchTimeout(p, reqs, c.Timeout) < len(reqs) {
+			c.fail()
+			return vals, found, ErrChannelDead
+		}
 		c.svc.eng.Wake(c.svc.proc)
 		got := 0
+		deadline := p.Now() + c.Timeout
 		for got < n {
 			k := c.rsp.RecvAll(p, rbuf[got:n])
 			if k == 0 {
+				if p.Now() >= deadline {
+					c.fail()
+					return vals, found, ErrChannelDead
+				}
 				p.Sleep(200)
 				continue
 			}
+			deadline = p.Now() + c.Timeout
 			for _, m := range rbuf[got : got+k] {
 				vals = append(vals, m[0])
 				found = append(found, m[1] == 1)
@@ -326,22 +397,28 @@ func (c *KVClient) SelectMany(p *sim.Proc, keys []uint64) (vals []uint64, found 
 		}
 		keys = keys[n:]
 	}
-	return vals, found
+	return vals, found, nil
 }
 
 // SelectRange performs a remote range SELECT over [lo, hi): the row values
 // arrive zero-copy through the bulk channel. Payloads are drained while
 // waiting for the count reply, so result sets larger than the bulk ring
-// never stall the server.
-func (c *KVClient) SelectRange(p *sim.Proc, lo, hi uint64) []uint64 {
-	c.req.Send(p, urpc.Message{lo, hi, kvOpRange})
+// never stall the server. The deadline re-arms on every payload, so a large
+// result set is bounded by per-transfer progress, not total size.
+func (c *KVClient) SelectRange(p *sim.Proc, lo, hi uint64) ([]uint64, error) {
+	if !c.req.SendTimeout(p, urpc.Message{lo, hi, kvOpRange}, c.Timeout) {
+		c.fail()
+		return nil, ErrChannelDead
+	}
 	c.svc.eng.Wake(c.svc.proc)
 	var vals []uint64
 	total := -1
+	deadline := p.Now() + c.Timeout
 	for total < 0 || len(vals) < total {
 		if total < 0 {
 			if m, ok := c.rsp.TryRecv(p); ok {
 				total = int(m[0])
+				deadline = p.Now() + c.Timeout
 				continue
 			}
 		}
@@ -349,11 +426,16 @@ func (c *KVClient) SelectRange(p *sim.Proc, lo, hi uint64) []uint64 {
 			for off := 0; off+8 <= len(b); off += 8 {
 				vals = append(vals, binary.LittleEndian.Uint64(b[off:]))
 			}
+			deadline = p.Now() + c.Timeout
 			continue
+		}
+		if p.Now() >= deadline {
+			c.fail()
+			return vals, ErrChannelDead
 		}
 		p.Sleep(200)
 	}
-	return vals
+	return vals, nil
 }
 
 // EncodeKey serializes a key for transport in HTTP query bodies.

@@ -83,7 +83,12 @@ func (w *WebServer) handle(p *sim.Proc, conn *netstack.TCPConn) {
 				w.Errors++
 				break
 			}
-			v, found := w.DB.Select(p, key)
+			v, found, err := w.DB.Select(p, key)
+			if err != nil {
+				status, body = "503 Service Unavailable", []byte("db down")
+				w.Errors++
+				break
+			}
 			if !found {
 				status, body = "404 Not Found", []byte("no row")
 				w.Errors++
@@ -98,7 +103,12 @@ func (w *WebServer) handle(p *sim.Proc, conn *netstack.TCPConn) {
 				break
 			}
 			// Row values arrive zero-copy over the client's bulk channel.
-			vals := w.DB.SelectRange(p, lo, hi)
+			vals, err := w.DB.SelectRange(p, lo, hi)
+			if err != nil {
+				status, body = "503 Service Unavailable", []byte("db down")
+				w.Errors++
+				break
+			}
 			var sum uint64
 			for _, v := range vals {
 				sum += v

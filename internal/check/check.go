@@ -20,6 +20,7 @@ package check
 import (
 	"fmt"
 
+	"multikernel/internal/apps"
 	"multikernel/internal/cache"
 	"multikernel/internal/harness"
 	"multikernel/internal/interconnect"
@@ -45,8 +46,9 @@ type RunConfig struct {
 	Depth     int           // max perturbations in generative mode; 0 = unperturbed
 	MaxJitter sim.Time      // jitter bound; 0 = default (128 cycles)
 	Faults    bool          // arm a seeded fault schedule
-	Script    []Perturbation // non-nil: replay exactly this script instead of generating
-	Mutate    urpc.Mutation  // plant a known transport defect (checker self-tests)
+	Script    []Perturbation  // non-nil: replay exactly this script instead of generating
+	Mutate    urpc.Mutation   // plant a known transport defect (checker self-tests)
+	KVMut     apps.KVMutation // plant a known replication defect (checker self-tests)
 }
 
 // Result is the outcome of one checked run.

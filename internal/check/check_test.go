@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"multikernel/internal/apps"
 	"multikernel/internal/urpc"
 )
 
@@ -86,6 +87,34 @@ func TestAckOverpublishCaughtAndShrunk(t *testing.T) {
 		t.Fatalf("shrunk repro has %d perturbations, want <= 5: %s", len(min), FormatScript(min))
 	}
 	rep := RunOne(RunConfig{Workload: "urpc", Seed: 1, Script: min, Mutate: urpc.MutAckOverpublish})
+	if !rep.Failed() {
+		t.Fatal("minimal script no longer reproduces the violation")
+	}
+}
+
+// The replication ack-drop defect (primary acks the client without
+// replicating) must surface as a linearizability violation once the primary
+// is killed: the acked write exists on no surviving replica, so post-failover
+// reads observe its absence. The shrunk script must still reproduce — this is
+// the kv-failover analogue of the transport's ack-overpublication self-test,
+// and the proof that the oracle actually guards the no-lost-write claim.
+func TestKVFailoverAckDropCaughtAndShrunk(t *testing.T) {
+	cfg := RunConfig{Workload: "kvfailover", Seed: 2, Depth: 24, KVMut: apps.KVMutAckDrop}
+	r := RunOne(cfg)
+	found := false
+	for _, v := range r.Violations {
+		if v.Checker == "linearize" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("linearizability checker missed the planted replication ack drop; got %v", r.Violations)
+	}
+	min := Shrink(cfg, r.Applied)
+	if len(min) > 5 {
+		t.Fatalf("shrunk repro has %d perturbations, want <= 5: %s", len(min), FormatScript(min))
+	}
+	rep := RunOne(RunConfig{Workload: "kvfailover", Seed: 2, Script: min, KVMut: apps.KVMutAckDrop})
 	if !rep.Failed() {
 		t.Fatal("minimal script no longer reproduces the violation")
 	}

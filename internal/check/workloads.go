@@ -28,6 +28,7 @@ type workload struct {
 
 var workloads = []workload{
 	{"kv", runKVWorkload},
+	{"kvfailover", runKVFailoverWorkload},
 	{"urpc", runURPCWorkload},
 	{"monitor", runMonitorWorkload},
 }
@@ -97,9 +98,13 @@ func runKVWorkload(e *sim.Engine, sys *cache.System, cfg RunConfig) ([]Violation
 		e.Spawn(fmt.Sprintf("kvclient%d", ci), func(p *sim.Proc) {
 			for _, op := range script {
 				if op.write {
-					cl.Update(p, op.key, op.val)
+					if _, err := cl.Update(p, op.key, op.val); err != nil {
+						return // service core is protected from kills; a verdict here fails liveness below
+					}
 				} else {
-					cl.Select(p, op.key)
+					if _, _, err := cl.Select(p, op.key); err != nil {
+						return
+					}
 				}
 			}
 			done[ci] = true
@@ -122,6 +127,135 @@ func runKVWorkload(e *sim.Engine, sys *cache.System, cfg RunConfig) ([]Violation
 			viol = append(viol, Violation{Checker: "liveness", Msg: fmt.Sprintf(
 				"kv client %d (core %d) did not finish its script by the horizon", ci, clientCores[ci])})
 		}
+	}
+	return viol, init
+}
+
+// runKVFailoverWorkload is the robustness counterpart of runKVWorkload: the
+// kvstore is sharded over three server cores with two spares and one replica
+// per shard beyond the primary, a seeded fault schedule ALWAYS kills one
+// server mid-write-window (the kill is the workload, not an option), and the
+// monitors' deadline detection drives promotion plus anti-entropy
+// re-replication onto a spare. Three fault-aware clients write unique values
+// through the kill and finish with a read pass over every hot key; the
+// linearizability checker then proves no acknowledged write was lost across
+// the fail-over. cfg.Faults layers stall and link noise on top; cfg.KVMut
+// plants a replication defect (used by the self-tests to show the oracle
+// catches a dropped replication ack).
+func runKVFailoverWorkload(e *sim.Engine, sys *cache.System, cfg RunConfig) ([]Violation, map[uint64]uint64) {
+	const (
+		rows    = 16
+		hotKeys = 8
+		opsPer  = 10
+		horizon = 150_000_000
+	)
+	m := sys.Machine()
+	kern := kernel.NewSystem(e, m)
+	kb := skb.New(m)
+	kb.Discover()
+	kb.Measure(func(a, b topo.CoreID) sim.Time { return 2 * m.TransferLat(b, a) })
+	net := monitor.NewNetwork(e, sys, kern, kb, monitor.Hooks{})
+	net.EnableFaultTolerance(100_000)
+
+	servers := []topo.CoreID{2, 3, 6}
+	spares := []topo.CoreID{8, 12}
+	cluster := apps.NewKVCluster(e, sys, net, apps.ClusterConfig{
+		Rows:    rows,
+		Servers: servers,
+		Spares:  spares,
+		Mut:     cfg.KVMut,
+	})
+	cluster.StartFailureDetector(net, 0, 400_000)
+	init := make(map[uint64]uint64, rows)
+	for k := uint64(0); k < rows; k++ {
+		init[k] = k*2654435761 + 1
+	}
+
+	// The kill lands inside the write window, so replication is in flight.
+	// Clients, the heartbeat core and the spares are never the victim.
+	rng := sim.NewRNG(cfg.Seed ^ 0x6b766661696c6f)
+	inj := fault.NewInjector(e, sys)
+	inj.OnKill(func(c topo.CoreID) {
+		cluster.KillCore(c)
+		net.FailStop(c)
+	})
+	sched := &fault.Schedule{}
+	victim := servers[rng.Intn(len(servers))]
+	sched.KillAt(600_000+rng.Time(2_500_000), victim)
+	if cfg.Faults {
+		if len(m.Links) > 0 {
+			l := m.Links[rng.Intn(len(m.Links))]
+			sched.DegradeLinkAt(500_000+rng.Time(4_000_000), l.A, l.B, 200_000, 4, 0.2)
+		}
+		// A stalled spare delays its anti-entropy sync but must not break
+		// safety: writes stay shed until the transfer really completes.
+		sched.StallAt(700_000+rng.Time(2_000_000), spares[rng.Intn(len(spares))], 120_000)
+	}
+	inj.Arm(sched)
+
+	type kvOp struct {
+		write bool
+		key   uint64
+		val   uint64
+	}
+	clientCores := []topo.CoreID{1, 5, 10}
+	scripts := make([][]kvOp, len(clientCores))
+	for ci := range clientCores {
+		for i := 0; i < opsPer; i++ {
+			op := kvOp{key: uint64(rng.Intn(hotKeys))}
+			if rng.Uint64()%2 == 0 {
+				op.write = true
+				op.val = uint64(ci+1)*1_000_000 + uint64(i)
+			}
+			scripts[ci] = append(scripts[ci], op)
+		}
+	}
+	done := make([]bool, len(clientCores))
+	unavailable := make([]int, len(clientCores))
+	for ci, core := range clientCores {
+		cl := cluster.Connect(core)
+		script := scripts[ci]
+		ci := ci
+		e.Spawn(fmt.Sprintf("kvfclient%d", ci), func(p *sim.Proc) {
+			for _, op := range script {
+				// Errors are expected while the cluster is degraded
+				// (ErrDegraded sheds, dead-primary attempts burn retries);
+				// the script presses on — safety is the checker's job.
+				if op.write {
+					cl.Put(p, op.key, op.val)
+				} else {
+					cl.Get(p, op.key)
+				}
+				p.Sleep(sim.Time(120_000 + 7_000*ci))
+			}
+			// Final read pass: by now fail-over must have restored
+			// availability on every shard, and each read feeds the
+			// linearizability checker one more completed observation.
+			for k := uint64(0); k < hotKeys; k++ {
+				if _, _, err := cl.Get(p, k); err != nil {
+					unavailable[ci]++
+				}
+			}
+			done[ci] = true
+		})
+	}
+	e.RunUntil(horizon)
+
+	var viol []Violation
+	for ci := range done {
+		if !done[ci] {
+			viol = append(viol, Violation{Checker: "liveness", Msg: fmt.Sprintf(
+				"kvfailover client %d (core %d) did not finish by the horizon", ci, clientCores[ci])})
+		} else if unavailable[ci] > 0 {
+			viol = append(viol, Violation{Checker: "liveness", Msg: fmt.Sprintf(
+				"kvfailover client %d: %d final reads failed after fail-over should have completed",
+				ci, unavailable[ci])})
+		}
+	}
+	st := cluster.Stats()
+	if st.Promotions == 0 {
+		viol = append(viol, Violation{Checker: "liveness", Msg: fmt.Sprintf(
+			"server core %d was killed but no shard was ever promoted", victim)})
 	}
 	return viol, init
 }

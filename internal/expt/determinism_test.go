@@ -29,6 +29,10 @@ func TestParallelSweepDeterminism(t *testing.T) {
 		lat, thr := FaultRecovery(42, 4)
 		out += stats.RenderFigure(lat, 72, 18)
 		out += stats.RenderFigure(thr, 72, 18)
+		klat, kthr, ktab := KVFault(42)
+		out += stats.RenderFigure(klat, 72, 18)
+		out += stats.RenderFigure(kthr, 72, 18)
+		out += ktab.Render()
 		return out
 	}
 	serial := render(1)

@@ -99,6 +99,12 @@ type Network struct {
 	monitors []*Monitor
 	failed   []bool // ground truth of fail-stopped cores (set by FailStop)
 
+	// onExcise hooks run in the excising monitor's proc context whenever a
+	// monitor removes a core from its replicated view. Services layered on
+	// the monitor network (e.g. the replicated kvstore's fail-over) register
+	// here: view excision IS their failure notification.
+	onExcise []func(p *sim.Proc, observer, excised topo.CoreID)
+
 	// opHist is the end-to-end latency distribution of coordinated
 	// operations, observed at every initiator-side completion.
 	opHist *stats.Histogram
@@ -258,6 +264,14 @@ func NewNetwork(e *sim.Engine, sys *cache.System, kern *kernel.System, kb *skb.K
 
 // Monitor returns the monitor of core c.
 func (n *Network) Monitor(c topo.CoreID) *Monitor { return n.monitors[c] }
+
+// OnExcise registers a hook invoked (in the excising monitor's proc context,
+// in registration order) each time any monitor excises a core from its
+// replicated view. A core's death is typically observed by several monitors;
+// the hook fires once per observer, so subscribers dedup by excised core.
+func (n *Network) OnExcise(fn func(p *sim.Proc, observer, excised topo.CoreID)) {
+	n.onExcise = append(n.onExcise, fn)
+}
 
 // Stats returns a copy of the monitor's counters.
 func (m *Monitor) Stats() Stats { return m.stats }

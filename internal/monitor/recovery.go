@@ -6,6 +6,7 @@ import (
 	"multikernel/internal/sim"
 	"multikernel/internal/topo"
 	"multikernel/internal/trace"
+	"multikernel/internal/urpc"
 )
 
 // This file makes the agreement protocols survive fail-stop cores. The
@@ -55,20 +56,26 @@ func (n *Network) CoreFailed(c topo.CoreID) bool { return n.failed[c] }
 func (m *Monitor) Dead() bool { return m.dead }
 
 // opDeadline returns the deadline for an initiator phase started now, given
-// how many recovery rounds the operation has already been through.
+// how many recovery rounds the operation has already been through. Initiators
+// wait twice the aggregation timeout per phase (subtree recovery resolves
+// first), doubling per recovery round — exactly urpc.RetryPolicy's deadline
+// schedule with Base = 2*OpTimeout.
 func (m *Monitor) opDeadline(p *sim.Proc, recoveries int) sim.Time {
 	if m.net.OpTimeout == 0 {
 		return 0
 	}
-	return p.Now() + (2*m.net.OpTimeout)<<uint(recoveries)
+	rp := urpc.RetryPolicy{Base: 2 * m.net.OpTimeout}
+	return rp.Deadline(p.Now(), recoveries)
 }
 
-// fwdDeadline returns the deadline for an aggregation started now.
+// fwdDeadline returns the deadline for an aggregation started now (round 0 of
+// the shared retry schedule: aggregators get one plain OpTimeout).
 func (m *Monitor) fwdDeadline(p *sim.Proc) sim.Time {
 	if m.net.OpTimeout == 0 {
 		return 0
 	}
-	return p.Now() + m.net.OpTimeout
+	rp := urpc.RetryPolicy{Base: m.net.OpTimeout}
+	return rp.Deadline(p.Now(), 0)
 }
 
 // sortedCores returns the set's members in ascending order, so recovery
@@ -135,6 +142,9 @@ func (m *Monitor) excise(p *sim.Proc, suspects []topo.CoreID) {
 		m.net.Eng.Tracer().Emit(uint64(p.Now()), trace.Instant, trace.SubMonitor, int32(m.Core), "monitor.excise", 0, uint64(s))
 		op := Op{Kind: OpCoreDown, ID: m.nextOpID(), Origin: m.Core, Bytes: uint64(s)}
 		m.local.Push(&localReq{op: op, protocol: NUMAAware, fut: sim.NewFuture[bool](m.net.Eng)})
+		for _, fn := range m.net.onExcise {
+			fn(p, m.Core, s)
+		}
 	}
 }
 

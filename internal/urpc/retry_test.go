@@ -1,0 +1,73 @@
+package urpc
+
+import (
+	"testing"
+
+	"multikernel/internal/sim"
+)
+
+// The transport's historic backoff ladder is part of the pinned cycle model:
+// extracting RetryPolicy must reproduce 25, 50, ..., 1600 (then pinned at
+// 1600) exactly.
+func TestRetryPolicyTransportLadder(t *testing.T) {
+	want := []sim.Time{25, 50, 100, 200, 400, 800, 1600, 1600, 1600}
+	gap := transportBackoff.Base
+	for i, w := range want {
+		if gap != w {
+			t.Fatalf("step %d: gap = %d, want %d", i, gap, w)
+		}
+		gap = transportBackoff.Next(gap)
+	}
+	for i, w := range want {
+		if g := transportBackoff.Gap(i); g != w {
+			t.Fatalf("Gap(%d) = %d, want %d", i, g, w)
+		}
+	}
+}
+
+func TestRetryPolicyDeadlineDoubles(t *testing.T) {
+	rp := RetryPolicy{Base: 200_000} // the monitors' 2*OpTimeout schedule
+	now := sim.Time(1_000)
+	for round := 0; round <= 4; round++ {
+		want := now + sim.Time(200_000)<<uint(round)
+		if d := rp.Deadline(now, round); d != want {
+			t.Fatalf("Deadline(round %d) = %d, want %d", round, d, want)
+		}
+	}
+}
+
+func TestRetryPolicyJitterSeededDeterministic(t *testing.T) {
+	a := NewRetryPolicy(1000, 16_000, 8, 0.25, sim.NewRNG(42))
+	b := NewRetryPolicy(1000, 16_000, 8, 0.25, sim.NewRNG(42))
+	for i := 0; i < 12; i++ {
+		ga, gb := a.Gap(i), b.Gap(i)
+		if ga != gb {
+			t.Fatalf("attempt %d: same seed diverged (%d vs %d)", i, ga, gb)
+		}
+		base := sim.Time(1000) << uint(i)
+		if base > 16_000 {
+			base = 16_000
+		}
+		lo := sim.Time(float64(base) * 0.74)
+		hi := sim.Time(float64(base)*1.26) + 1
+		if ga < lo || ga > hi {
+			t.Fatalf("attempt %d: jittered gap %d outside [%d,%d]", i, ga, lo, hi)
+		}
+	}
+}
+
+func TestRetryPolicyExhausted(t *testing.T) {
+	rp := RetryPolicy{Base: 10, Tries: 3}
+	for i := 0; i < 3; i++ {
+		if rp.Exhausted(i) {
+			t.Fatalf("attempt %d should be within budget", i)
+		}
+	}
+	if !rp.Exhausted(3) {
+		t.Fatal("attempt 3 should exhaust a 3-try budget")
+	}
+	unbounded := RetryPolicy{Base: 10}
+	if unbounded.Exhausted(1 << 20) {
+		t.Fatal("Tries=0 must mean unbounded")
+	}
+}

@@ -270,8 +270,18 @@ func (c *Channel) SendTimeout(p *sim.Proc, msg Message, timeout sim.Time) bool {
 	if c.dead {
 		return false
 	}
-	deadline := p.Now() + timeout
-	gap := sim.Time(pollGap)
+	if !c.waitSpaceTimeout(p, p.Now()+timeout) {
+		return false
+	}
+	c.transmit(p, msg)
+	return true
+}
+
+// waitSpaceTimeout is waitSpace with a deadline: it polls the ack line with
+// the transport's exponential backoff and reports false if the ring is still
+// full at the deadline.
+func (c *Channel) waitSpaceTimeout(p *sim.Proc, deadline sim.Time) bool {
+	gap := transportBackoff.Base
 	for c.sendSeq-c.sendAcked >= uint64(c.slots) {
 		c.stats.FullStall++
 		c.mFullStall.Inc()
@@ -287,12 +297,53 @@ func (c *Channel) SendTimeout(p *sim.Proc, msg Message, timeout sim.Time) bool {
 		c.mRetries.Inc()
 		c.eng.Tracer().Emit(uint64(p.Now()), trace.Instant, trace.SubURPC, int32(c.Sender), "urpc.backoff", c.id<<32, uint64(gap))
 		p.Sleep(gap)
-		if gap < maxBackoffGap {
-			gap *= 2
-		}
+		gap = transportBackoff.Next(gap)
 	}
-	c.transmit(p, msg)
 	return true
+}
+
+// SendBatchTimeout is SendBatch with a deadline: it transmits msgs as
+// pipelined bursts but gives up if the ring stays full past the deadline —
+// the fail-stopped-receiver signature — returning how many messages were
+// actually pushed. A return short of len(msgs) is the caller's cue to render
+// a ChannelDead verdict. Sends on a channel already marked Dead push nothing.
+func (c *Channel) SendBatchTimeout(p *sim.Proc, msgs []Message, timeout sim.Time) int {
+	if c.dead {
+		return 0
+	}
+	deadline := p.Now() + timeout
+	rec := c.eng.Tracer()
+	sent := 0
+	// Same kill audit as SendBatch: an unwind mid-burst must still deliver the
+	// wakeup that already-published slots have earned.
+	defer func() {
+		if w := c.blocked; w != nil && c.Pending() {
+			c.blocked = nil
+			c.stats.Notifies++
+			c.mNotifies.Inc()
+			eng := c.eng
+			eng.After(c.sys.Machine().Costs.IPIDeliver, func() { eng.Wake(w) })
+		}
+	}()
+	for len(msgs) > 0 {
+		if !c.waitSpaceTimeout(p, deadline) {
+			return sent
+		}
+		n := c.slots - int(c.sendSeq-c.sendAcked)
+		if n > len(msgs) {
+			n = len(msgs)
+		}
+		rec.Emit(uint64(p.Now()), trace.Begin, trace.SubURPC, int32(c.Sender), "urpc.send", 0, uint64(n))
+		p.Sleep(sendSetupCost)
+		for _, m := range msgs[:n] {
+			c.pushSlot(p, m)
+		}
+		c.notify(p)
+		rec.Emit(uint64(p.Now()), trace.End, trace.SubURPC, int32(c.Sender), "urpc.send", 0, 0)
+		msgs = msgs[n:]
+		sent += n
+	}
+	return sent
 }
 
 // transmit performs the actual slot write and receiver notification; the ring
@@ -485,7 +536,7 @@ func (c *Channel) RecvWindow(p *sim.Proc, window sim.Time) Message {
 // suspect the sender and render a ChannelDead verdict via MarkDead.
 func (c *Channel) RecvTimeout(p *sim.Proc, timeout sim.Time) (Message, bool) {
 	deadline := p.Now() + timeout
-	gap := sim.Time(pollGap)
+	gap := transportBackoff.Base
 	for {
 		if m, ok := c.TryRecv(p); ok {
 			return m, true
@@ -498,9 +549,7 @@ func (c *Channel) RecvTimeout(p *sim.Proc, timeout sim.Time) (Message, bool) {
 		c.mRetries.Inc()
 		c.eng.Tracer().Emit(uint64(p.Now()), trace.Instant, trace.SubURPC, int32(c.Receiver), "urpc.backoff", c.id<<32, uint64(gap))
 		p.Sleep(gap)
-		if gap < maxBackoffGap {
-			gap *= 2
-		}
+		gap = transportBackoff.Next(gap)
 	}
 }
 
