@@ -23,6 +23,15 @@
 //     that dispatches even one event more or fewer than the committed
 //     baseline — i.e. diverges from the serial schedule — fails CI.
 //
+//   - The observability-plane cost contract: the pinned obs workload
+//     (-bench=ObsPinned in internal/obs) runs the same cross-socket URPC
+//     exchange with no plane, a disabled plane and a live sampling plane.
+//     All three simcycles/op values are pinned, and base vs disabled are
+//     additionally required to be EQUAL — a disabled plane must charge zero
+//     virtual time — while the sampling variant's simevents/window pin
+//     catches wire-protocol or aggregation-tree changes that inflate the
+//     plane's own traffic.
+//
 // Usage:
 //
 //	go run ./ci/traceguard            # check against the baseline
@@ -132,6 +141,15 @@ func main() {
 			fmt.Printf("ok    %-42s %10.2f (exact)\n", name, got)
 		}
 	}
+	// Sharper than the pins: a disabled observability plane must leave the
+	// workload on the no-plane run's exact cycle, not merely under a ceiling.
+	base, okB := simMeasured["BenchmarkObsPinned/base:simcycles/op"]
+	dis, okD := simMeasured["BenchmarkObsPinned/disabled:simcycles/op"]
+	if okB && okD && base != dis {
+		fmt.Printf("COST  BenchmarkObsPinned: disabled plane not free (base %.2f vs disabled %.2f simcycles/op)\n",
+			base, dis)
+		failed = true
+	}
 	if failed {
 		fmt.Fprintln(os.Stderr, "traceguard: cost contract violated (see lines above)")
 		os.Exit(1)
@@ -150,6 +168,7 @@ func runSimBenchmarks() (map[string]float64, error) {
 	for _, run := range []struct{ bench, pkg string }{
 		{"URPCPipelined|BulkTransfer", "./internal/urpc/"},
 		{"ParallelEnginePinned", "./internal/sim/"},
+		{"ObsPinned", "./internal/obs/"},
 	} {
 		cmd := exec.Command("go", "test", "-run=NONE",
 			"-bench="+run.bench, "-benchtime=1x", run.pkg)

@@ -9,7 +9,15 @@
 //	        [-fault-seed N] [experiment ...]
 //
 // Experiments: fig3 tab1 tab2 tab3 fig6 fig7 fig8 tab4 fig9 sec54 poll
-// ablations extensions faults urpcv2 sim, or "all" (the default).
+// ablations extensions faults kvfault obs urpcv2 sim, or "all" (the
+// default).
+//
+// The obs experiment re-runs the kvcluster fail-over scenario with the
+// distributed observability plane (internal/obs) at a sweep of sampling
+// intervals: client completion cycles with the plane absent, disabled
+// (must match absent exactly) and live, the plane's message volume per
+// committed window, exact counter fidelity, and the health monitor's
+// kill-to-degraded-event latency against its documented bound.
 //
 // The urpcv2 experiment sweeps the v2 transport: pipelined throughput
 // against sender in-flight depth 1→16, the ring-vs-bulk crossover for
@@ -224,6 +232,19 @@ func main() {
 			showFig("kvfault-latency", lat)
 			showFig("kvfault-throughput", thr)
 			showTab(tab)
+		}},
+		{"obs", func() {
+			res := expt.Obs(*faultSeed)
+			showTab(res.Tab)
+			headline["obs.zero_overhead_disabled"] = b2f(res.ZeroOverhead)
+			headline["obs.sampling_client_delta_cycles"] = res.SamplingDelta
+			headline["obs.fidelity_exact"] = b2f(res.FidelityExact)
+			headline["obs.detect_cycles"] = res.DetectLat
+			headline["obs.detect_bound_cycles"] = res.DetectBound
+			headline["obs.detect_within_bound"] = b2f(res.WithinBound)
+			headline["obs.windows"] = float64(res.Windows)
+			headline["obs.msgs_per_window"] = round3(res.MsgsPerWindow)
+			headline["obs.store_hash32"] = float64(res.StoreHash)
 		}},
 		{"urpcv2", func() {
 			showFig("urpcv2-depth", expt.URPCv2Depth(30*iters))

@@ -49,6 +49,7 @@ import (
 	"multikernel/internal/metrics"
 	"multikernel/internal/monitor"
 	"multikernel/internal/sim"
+	"multikernel/internal/stats"
 	"multikernel/internal/topo"
 	"multikernel/internal/trace"
 	"multikernel/internal/urpc"
@@ -165,6 +166,13 @@ type KVCluster struct {
 	mPromotions, mDemotions *metrics.Counter
 	mRecruits, mSyncs       *metrics.Counter
 	mShed                   *metrics.Counter
+
+	// Health telemetry consumed by the observability plane: live copies per
+	// shard ("kv.shard.<s>.replicas"), admitted-write queue depth per server
+	// ("kv.server.<c>.pending"), and end-to-end client op latency
+	// ("kv.op_cycles"). All are zero-virtual-cost registry updates.
+	gShardReplicas []*metrics.Gauge
+	hOps           *stats.Histogram
 }
 
 // NewKVCluster builds the shard map, boots one server process per member
@@ -209,6 +217,7 @@ func NewKVCluster(e *sim.Engine, sys *cache.System, net *monitor.Network, cfg Cl
 	cl.mRecruits = reg.Counter("kv.cluster.recruits")
 	cl.mSyncs = reg.Counter("kv.cluster.syncs")
 	cl.mShed = reg.Counter("kv.cluster.shed")
+	cl.hOps = reg.Histogram("kv.op_cycles")
 
 	// Shard i starts on Servers[i mod N] with the next Replicas-1 servers
 	// (in ring order) as its in-sync backups.
@@ -228,6 +237,10 @@ func NewKVCluster(e *sim.Engine, sys *cache.System, net *monitor.Network, cfg Cl
 		}
 	}
 	sort.Slice(cl.ring, func(i, j int) bool { return cl.ring[i].hash < cl.ring[j].hash })
+	for s := range cl.shards {
+		cl.gShardReplicas = append(cl.gShardReplicas, reg.Gauge(fmt.Sprintf("kv.shard.%d.replicas", s)))
+		cl.updateShardGauge(s)
+	}
 
 	cl.members = append(append([]topo.CoreID{}, cfg.Servers...), cfg.Spares...)
 	sort.Slice(cl.members, func(i, j int) bool { return cl.members[i] < cl.members[j] })
@@ -269,6 +282,17 @@ func NewKVCluster(e *sim.Engine, sys *cache.System, net *monitor.Network, cfg Cl
 		})
 	}
 	return cl
+}
+
+// updateShardGauge publishes shard s's live copy count (primary + in-sync
+// backups) to its health gauge. Called after every shard-map mutation.
+func (cl *KVCluster) updateShardGauge(s int) {
+	st := cl.shards[s]
+	n := int64(len(st.isr))
+	if st.primary >= 0 {
+		n++
+	}
+	cl.gShardReplicas[s].Set(n)
 }
 
 // emit records a control-plane instant when tracing is on.
@@ -368,6 +392,7 @@ func (cl *KVCluster) coreDown(p *sim.Proc, c topo.CoreID) {
 			cl.stats.Demotions++
 			cl.mDemotions.Inc()
 		}
+		cl.updateShardGauge(s)
 		cl.maybeRecruit(p, s)
 	}
 }
@@ -386,6 +411,7 @@ func (cl *KVCluster) demote(p *sim.Proc, s int, b topo.CoreID) {
 	cl.epoch++
 	cl.stats.Demotions++
 	cl.mDemotions.Inc()
+	cl.updateShardGauge(s)
 	if !cl.downSeen[b] && !containsCore(cl.spares, b) {
 		cl.spares = append(cl.spares, b)
 		sort.Slice(cl.spares, func(i, j int) bool { return cl.spares[i] < cl.spares[j] })
@@ -435,6 +461,7 @@ func (cl *KVCluster) syncDone(p *sim.Proc, s int, b topo.CoreID) {
 	cl.epoch++
 	cl.stats.Syncs++
 	cl.mSyncs.Inc()
+	cl.updateShardGauge(s)
 	cl.emit(p, b, "kv.sync_done", uint64(s), uint64(b))
 	if st.syncing {
 		cl.maybeRecruit(p, s)
@@ -511,6 +538,8 @@ type kvServer struct {
 	syncs    map[int]*pendingSync    // shard -> in-flight transfer
 	syncRecv map[int]*syncBuffer     // shard -> transfer being received
 
+	gPending *metrics.Gauge // admitted writes queued, all shards
+
 	nextSyncID uint64
 }
 
@@ -535,6 +564,7 @@ func newKVServer(cl *KVCluster, core topo.CoreID) *kvServer {
 		pending:     make(map[int][]*pendingWrite),
 		syncs:       make(map[int]*pendingSync),
 		syncRecv:    make(map[int]*syncBuffer),
+		gPending:    cl.eng.Metrics().Gauge(fmt.Sprintf("kv.server.%d.pending", core)),
 	}
 	for s := 0; s < cl.cfg.Shards; s++ {
 		srv.data[s] = make(map[uint64]uint64)
@@ -686,6 +716,7 @@ func (srv *kvServer) handleClient(p *sim.Proc, client topo.CoreID, m urpc.Messag
 		srv.pending[s] = append(srv.pending[s], &pendingWrite{
 			key: key, val: val, reqID: reqID, client: client,
 		})
+		srv.gPending.Add(1)
 	}
 }
 
@@ -772,6 +803,7 @@ func (srv *kvServer) serviceWrites(p *sim.Proc) bool {
 				srv.reply(p, w.client, 0, 0, ckStatusWrongPrimary, w.reqID)
 			}
 			srv.pending[s] = nil
+			srv.gPending.Add(-int64(len(q)))
 			progress = true
 			continue
 		}
@@ -796,6 +828,7 @@ func (srv *kvServer) serviceWrites(p *sim.Proc) bool {
 		if len(w.waiting) == 0 {
 			srv.commitWrite(p, s, w)
 			srv.pending[s] = q[1:]
+			srv.gPending.Add(-1)
 			progress = true
 			continue
 		}
@@ -817,6 +850,7 @@ func (srv *kvServer) serviceWrites(p *sim.Proc) bool {
 				srv.commitWrite(p, s, w)
 				srv.pending[s] = q[1:]
 			}
+			srv.gPending.Add(-1)
 			progress = true
 		}
 	}
@@ -972,6 +1006,7 @@ func (cl *KVCluster) Connect(core topo.CoreID) *ClusterClient {
 // ErrDegraded if admission control was the last thing heard, otherwise
 // ErrRetriesExhausted.
 func (c *ClusterClient) call(p *sim.Proc, key, val, op, reqID uint64) (uint64, uint64, error) {
+	start := p.Now()
 	lastDegraded := false
 	for attempt := 0; ; attempt++ {
 		if c.retry.Exhausted(attempt) {
@@ -985,6 +1020,9 @@ func (c *ClusterClient) call(p *sim.Proc, key, val, op, reqID uint64) (uint64, u
 		}
 		v, f, status, got := c.attempt(p, key, val, op, reqID)
 		if got && status == ckStatusOK {
+			// End-to-end latency including all retries — the tail the health
+			// monitor watches for degradation.
+			c.cl.hOps.Observe(uint64(p.Now() - start))
 			return v, f, nil
 		}
 		lastDegraded = got && status == ckStatusDegraded

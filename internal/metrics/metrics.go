@@ -46,10 +46,25 @@ func (c *Counter) Add(n uint64) { c.v += n }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v }
 
-// Registry holds one engine's counters and histograms.
+// Gauge is an instantaneous level — queue depth, replica count, heap size —
+// as opposed to a Counter's monotone total. Engine-confined like Counter: see
+// the package accumulation convention.
+type Gauge struct{ v int64 }
+
+// Set replaces the level.
+func (g *Gauge) Set(v int64) { g.v = v }
+
+// Add moves the level by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v += d }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v }
+
+// Registry holds one engine's counters, gauges and histograms.
 type Registry struct {
 	counters map[string]*Counter
 	funcs    map[string]func() uint64
+	gauges   map[string]*Gauge
 	hists    map[string]*stats.Histogram
 }
 
@@ -58,6 +73,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		funcs:    make(map[string]func() uint64),
+		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*stats.Histogram),
 	}
 }
@@ -77,6 +93,17 @@ func (r *Registry) Counter(name string) *Counter {
 // replacing any previous function under the same name.
 func (r *Registry) CounterFunc(name string, fn func() uint64) {
 	r.funcs[name] = fn
+}
+
+// Gauge returns the gauge registered under name, creating it if needed. All
+// callers asking for one name share one gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns the histogram registered under name, creating it if
@@ -132,6 +159,22 @@ func (r *Registry) CheckpointState(w io.Writer) error {
 			return err
 		}
 	}
+	gnames := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		gnames = append(gnames, n)
+	}
+	sort.Strings(gnames)
+	if err := ckpt.WriteU64(w, uint64(len(gnames))); err != nil {
+		return err
+	}
+	for _, n := range gnames {
+		if err := ckpt.WriteString(w, n); err != nil {
+			return err
+		}
+		if err := ckpt.WriteU64(w, uint64(r.gauges[n].v)); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -173,6 +216,20 @@ func (r *Registry) RestoreState(rd io.Reader) error {
 		}
 		r.Histogram(name).SetRaw(counts, hn, sum, max)
 	}
+	if err := ckpt.ReadU64(rd, &n); err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		name, err := ckpt.ReadString(rd)
+		if err != nil {
+			return err
+		}
+		var v uint64
+		if err := ckpt.ReadU64(rd, &v); err != nil {
+			return err
+		}
+		r.Gauge(name).v = int64(v)
+	}
 	return nil
 }
 
@@ -181,10 +238,11 @@ func (r *Registry) RestoreState(rd io.Reader) error {
 // the JSON encoding is deterministic.
 type Snapshot struct {
 	Counters   map[string]uint64                 `json:"counters"`
+	Gauges     map[string]int64                  `json:"gauges,omitempty"`
 	Histograms map[string]stats.HistogramSummary `json:"histograms,omitempty"`
 }
 
-// Snapshot samples every counter (live and lazy) and histogram.
+// Snapshot samples every counter (live and lazy), gauge and histogram.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{Counters: make(map[string]uint64, len(r.counters)+len(r.funcs))}
 	for name, c := range r.counters {
@@ -192,6 +250,12 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, fn := range r.funcs {
 		s.Counters[name] = fn()
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.v
+		}
 	}
 	if len(r.hists) > 0 {
 		s.Histograms = make(map[string]stats.HistogramSummary, len(r.hists))
@@ -202,15 +266,22 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
-// Merge folds o into s: counters sum, histograms merge bucket-wise. Merging
-// is commutative, so a parallel sweep folds to the same totals in any
-// completion order.
+// Merge folds o into s: counters and gauges sum, histograms merge
+// bucket-wise. Merging is commutative, so a parallel sweep folds to the same
+// totals in any completion order. (Summing gauges is right for the sweep use:
+// disjoint engines' levels — queue depths, heap sizes — add.)
 func (s *Snapshot) Merge(o Snapshot) {
 	if s.Counters == nil {
 		s.Counters = make(map[string]uint64, len(o.Counters))
 	}
 	for name, v := range o.Counters {
 		s.Counters[name] += v
+	}
+	if len(o.Gauges) > 0 && s.Gauges == nil {
+		s.Gauges = make(map[string]int64, len(o.Gauges))
+	}
+	for name, v := range o.Gauges {
+		s.Gauges[name] += v
 	}
 	if len(o.Histograms) > 0 && s.Histograms == nil {
 		s.Histograms = make(map[string]stats.HistogramSummary, len(o.Histograms))
@@ -231,6 +302,120 @@ func (s Snapshot) Names() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// ---------------------------------------------------------------------------
+// Cursors: windowed delta sampling for the observability plane.
+
+// histMark is a cursor's remembered position in one histogram.
+type histMark struct {
+	counts [stats.NumBuckets]uint64
+	n, sum uint64
+}
+
+// Cursor remembers a sampler's position in a registry so successive
+// SnapshotDelta calls return only what changed in between. Deltas are
+// atomic in the only sense that matters here — the registry is
+// engine-confined, so a cursor running inside a proc observes one consistent
+// virtual instant with no counter racing ahead mid-snapshot — and they are
+// mergeable: summing a series' deltas over any window partition reproduces
+// the plain Snapshot difference across that window.
+//
+// A cursor sees only names its filter accepts (nil accepts everything);
+// disjoint filters across per-core cursors give exactly-once accounting of a
+// shared registry. Names registered after the cursor was created are picked
+// up on their first subsequent delta.
+type Cursor struct {
+	r        *Registry
+	filter   func(string) bool
+	counters map[string]uint64
+	gauges   map[string]int64
+	hists    map[string]*histMark
+}
+
+// NewCursor returns a cursor over r restricted to names accepted by filter
+// (nil for all). The cursor starts at zero: the first SnapshotDelta returns
+// everything accumulated so far.
+func (r *Registry) NewCursor(filter func(string) bool) *Cursor {
+	return &Cursor{
+		r:        r,
+		filter:   filter,
+		counters: make(map[string]uint64),
+		gauges:   make(map[string]int64),
+		hists:    make(map[string]*histMark),
+	}
+}
+
+func (c *Cursor) accepts(name string) bool { return c.filter == nil || c.filter(name) }
+
+// SnapshotDelta returns what changed since the previous call and advances the
+// cursor. Counters (live and lazy) report their increase and are omitted when
+// unchanged; gauges report their current level, but only on calls where it
+// changed (first observation included); histograms report the window's delta
+// summary and are omitted when no observation landed. An idle window is an
+// empty snapshot.
+func (c *Cursor) SnapshotDelta() Snapshot {
+	var s Snapshot
+	counter := func(name string, cur uint64) {
+		prev := c.counters[name]
+		if cur == prev {
+			return
+		}
+		c.counters[name] = cur
+		if cur < prev {
+			return // a lazy sampler regressed; resync without emitting garbage
+		}
+		if s.Counters == nil {
+			s.Counters = make(map[string]uint64)
+		}
+		s.Counters[name] = cur - prev
+	}
+	for name, cn := range c.r.counters {
+		if c.accepts(name) {
+			counter(name, cn.v)
+		}
+	}
+	for name, fn := range c.r.funcs {
+		if c.accepts(name) {
+			counter(name, fn())
+		}
+	}
+	for name, g := range c.r.gauges {
+		if !c.accepts(name) {
+			continue
+		}
+		prev, seen := c.gauges[name]
+		if seen && prev == g.v {
+			continue
+		}
+		c.gauges[name] = g.v
+		if s.Gauges == nil {
+			s.Gauges = make(map[string]int64)
+		}
+		s.Gauges[name] = g.v
+	}
+	for name, h := range c.r.hists {
+		if !c.accepts(name) {
+			continue
+		}
+		m := c.hists[name]
+		if m == nil {
+			m = &histMark{}
+			c.hists[name] = m
+		}
+		counts, n, sum, _ := h.Raw()
+		if n == m.n {
+			continue
+		}
+		d := stats.DeltaSummary(counts, m.counts[:], n-m.n, sum-m.sum)
+		copy(m.counts[:], counts)
+		m.n, m.sum = n, sum
+		if s.Histograms == nil {
+			s.Histograms = make(map[string]stats.HistogramSummary)
+		}
+		s.Histograms[name] = d
+	}
+	return s
 }
 
 // ---------------------------------------------------------------------------

@@ -77,6 +77,122 @@ func TestSnapshotMergeCommutative(t *testing.T) {
 	}
 }
 
+func TestGaugeLevels(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("kv.shard.0.replicas")
+	if r.Gauge("kv.shard.0.replicas") != g {
+		t.Fatal("same name returned distinct gauges")
+	}
+	g.Set(3)
+	g.Add(-1)
+	if got := r.Snapshot().Gauges["kv.shard.0.replicas"]; got != 2 {
+		t.Fatalf("snapshot=%d, want 2", got)
+	}
+	// Gauges sum across merged snapshots (disjoint engines' levels add).
+	o := NewRegistry()
+	o.Gauge("kv.shard.0.replicas").Set(3)
+	s := r.Snapshot()
+	s.Merge(o.Snapshot())
+	if s.Gauges["kv.shard.0.replicas"] != 5 {
+		t.Fatalf("merged gauge=%d, want 5", s.Gauges["kv.shard.0.replicas"])
+	}
+}
+
+func TestCursorSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("urpc.sent")
+	lazy := uint64(10)
+	r.CounterFunc("sim.events", func() uint64 { return lazy })
+	g := r.Gauge("depth")
+	h := r.Histogram("lat")
+	c.Add(5)
+	g.Set(7)
+	h.Observe(100)
+
+	cur := r.NewCursor(nil)
+	// First window: everything accumulated so far.
+	d := cur.SnapshotDelta()
+	if d.Counters["urpc.sent"] != 5 || d.Counters["sim.events"] != 10 {
+		t.Fatalf("first window counters: %v", d.Counters)
+	}
+	if d.Gauges["depth"] != 7 {
+		t.Fatalf("first window gauges: %v", d.Gauges)
+	}
+	if hs := d.Histograms["lat"]; hs.N != 1 || hs.Sum != 100 {
+		t.Fatalf("first window histogram: %+v", hs)
+	}
+
+	// Idle window: empty snapshot — nothing to ship.
+	if d = cur.SnapshotDelta(); len(d.Counters) != 0 || len(d.Gauges) != 0 || len(d.Histograms) != 0 {
+		t.Fatalf("idle window not empty: %+v", d)
+	}
+
+	// Active window: only the deltas, and the gauge only because it moved.
+	c.Add(2)
+	lazy = 16
+	g.Set(3)
+	h.Observe(200)
+	h.Observe(300)
+	d = cur.SnapshotDelta()
+	if d.Counters["urpc.sent"] != 2 || d.Counters["sim.events"] != 6 {
+		t.Fatalf("delta counters: %v", d.Counters)
+	}
+	if d.Gauges["depth"] != 3 {
+		t.Fatalf("delta gauges: %v", d.Gauges)
+	}
+	if hs := d.Histograms["lat"]; hs.N != 2 || hs.Sum != 500 {
+		t.Fatalf("delta histogram: %+v", hs)
+	}
+
+	// Mergeability: the summed windows equal the full snapshot difference.
+	var total Snapshot
+	total.Merge(Snapshot{Counters: map[string]uint64{"urpc.sent": 5, "sim.events": 10}})
+	total.Merge(d)
+	if total.Counters["urpc.sent"] != c.Value() || total.Counters["sim.events"] != lazy {
+		t.Fatalf("windows don't sum to totals: %v", total.Counters)
+	}
+
+	// A name registered after cursor creation is picked up on its next delta.
+	r.Counter("late").Inc()
+	if d = cur.SnapshotDelta(); d.Counters["late"] != 1 {
+		t.Fatalf("late-registered counter missed: %v", d.Counters)
+	}
+}
+
+func TestCursorFilter(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.x").Add(1)
+	r.Counter("b.y").Add(2)
+	r.Gauge("b.g").Set(9)
+	cur := r.NewCursor(func(name string) bool { return name[0] == 'b' })
+	d := cur.SnapshotDelta()
+	if _, ok := d.Counters["a.x"]; ok {
+		t.Fatalf("filtered name leaked: %v", d.Counters)
+	}
+	if d.Counters["b.y"] != 2 || d.Gauges["b.g"] != 9 {
+		t.Fatalf("accepted names wrong: %v %v", d.Counters, d.Gauges)
+	}
+}
+
+func TestGaugeCheckpointRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(4)
+	r.Gauge("g").Set(-3)
+	r.Histogram("h").Observe(10)
+	var buf bytes.Buffer
+	if err := r.CheckpointState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRegistry()
+	g2 := r2.Gauge("g") // handle held from build time observes the restore
+	if err := r2.RestoreState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if g2.Value() != -3 || r2.Snapshot().Counters["c"] != 4 {
+		t.Fatalf("restore: gauge=%d counters=%v", g2.Value(), r2.Snapshot().Counters)
+	}
+}
+
 func TestSnapshotNamesSorted(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("z.last")

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"testing"
+
+	"multikernel/internal/sim"
+	"multikernel/internal/skb"
+	"multikernel/internal/topo"
+)
+
+// The observability cost contract, pinned by ci/traceguard: the /base and
+// /disabled variants run the same cross-socket ping-pong workload with no
+// plane and with a constructed-but-disabled plane, and must report the SAME
+// deterministic simcycles/op — a disabled plane spawns no procs, builds no
+// channels and charges zero virtual time. The /sampling variant pins the
+// workload cost with the plane live (samplers share the interconnect, so
+// this may legitimately differ) plus the plane's own per-window message
+// count, so a wire-protocol or tree change that inflates obs traffic fails
+// CI even though every functional test still passes.
+
+const benchOps = 200
+
+// obsPinnedRun returns the client's completion cycles for the ping-pong
+// workload; mode 0 = no plane, 1 = disabled plane, 2 = sampling plane.
+func obsPinnedRun(b *testing.B, mode int) (sim.Time, float64) {
+	m := topo.AMD4x4()
+	e, sys := newSys(m)
+	if mode > 0 {
+		kb := skb.New(m)
+		kb.Discover()
+		var interval sim.Time
+		if mode == 2 {
+			interval = 100_000
+		}
+		pl := NewPlane(e, sys, kb, Config{Interval: interval})
+		pl.Start()
+	}
+	done := pingPong(e, sys, benchOps)
+	if mode == 2 {
+		// Sampling daemons keep the event queue alive; bound the run.
+		e.RunUntil(10_000_000)
+	} else {
+		e.Run()
+	}
+	if *done == 0 {
+		b.Fatal("workload did not finish")
+	}
+	var msgsPerWindow float64
+	if mode == 2 {
+		w := e.Metrics().Counter("obs.windows").Value()
+		if w == 0 {
+			b.Fatal("no windows committed")
+		}
+		msgsPerWindow = float64(e.Metrics().Counter("obs.msgs").Value()) / float64(w)
+	}
+	return *done, msgsPerWindow
+}
+
+func BenchmarkObsPinned(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		mode int
+	}{{"base", 0}, {"disabled", 1}, {"sampling", 2}} {
+		b.Run(c.name, func(b *testing.B) {
+			var cycles sim.Time
+			var msgs float64
+			for i := 0; i < b.N; i++ {
+				cycles, msgs = obsPinnedRun(b, c.mode)
+			}
+			b.ReportMetric(float64(cycles)/benchOps, "simcycles/op")
+			if c.mode == 2 {
+				b.ReportMetric(msgs, "simevents/window")
+			}
+		})
+	}
+}

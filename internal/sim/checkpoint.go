@@ -135,7 +135,7 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 		return err
 	}
 	if err := ckpt.WriteU64(w, uint64(e.now), e.seq, e.serial, e.rng.State(),
-		uint64(e.maxHeap), e.wakes, uint64(e.nextID)); err != nil {
+		uint64(e.heapMax.Value()), e.wakes, uint64(e.nextID)); err != nil {
 		return err
 	}
 	if err := ckpt.WriteU64(w, uint64(len(procs))); err != nil {
@@ -277,7 +277,7 @@ func Restore(r io.Reader, build func(e *Engine)) (*Engine, error) {
 	e.seq = seq
 	e.serial = serial
 	e.rng.SetState(rngState)
-	e.maxHeap = int(maxHeap)
+	e.heapMax.Set(int64(maxHeap))
 	e.wakes = wakes
 	e.nextID = int(nextID)
 

@@ -146,10 +146,10 @@ type Engine struct {
 	// the registry.
 	rec         *trace.Recorder
 	met         *metrics.Registry
-	serial      uint64 // Serial() allocator (channel ids, flow correlation)
-	maxHeap     int    // high-water mark of the event heap
-	wakes       uint64 // proc wakeups delivered via Wake/Unpark
-	contributed bool   // telemetry already handed to the global collectors
+	serial      uint64         // Serial() allocator (channel ids, flow correlation)
+	heapMax     *metrics.Gauge // high-water mark of the event heap
+	wakes       uint64         // proc wakeups delivered via Wake/Unpark
+	contributed bool           // telemetry already handed to the global collectors
 
 	// ckpts are the components serialized into Engine.Checkpoint, in
 	// registration order (see checkpoint.go). The engine's own metrics
@@ -170,7 +170,10 @@ func NewEngine(seed uint64) *Engine {
 	// is either still in the heap or has been popped by the dispatch loop —
 	// there is no cancellation path — so the loop itself stays untouched.
 	e.met.CounterFunc("sim.events_dispatched", func() uint64 { return e.seq - uint64(len(e.events)) })
-	e.met.CounterFunc("sim.heap_max_depth", func() uint64 { return uint64(e.maxHeap) })
+	// The heap high-water mark is a level, not a monotone count: a shared
+	// Gauge handle bumped inline keeps the dispatch loop registry-free while
+	// letting samplers read it as a level series.
+	e.heapMax = e.met.Gauge("sim.heap_max_depth")
 	e.met.CounterFunc("sim.proc_wakes", func() uint64 { return e.wakes })
 	e.met.CounterFunc("sim.procs_spawned", func() uint64 { return uint64(e.nextID) })
 	if trace.Capturing() {
@@ -246,8 +249,8 @@ func (e *Engine) schedule(d Time, p *Proc, fn func()) {
 		ev.pri = pri
 	}
 	e.events.push(ev)
-	if n := len(e.events); n > e.maxHeap {
-		e.maxHeap = n
+	if n := int64(len(e.events)); n > e.heapMax.Value() {
+		e.heapMax.Set(n)
 	}
 }
 
@@ -260,8 +263,8 @@ func (e *Engine) scheduleAt(at Time, fn func()) {
 	ev := e.newEvent()
 	ev.at, ev.seq, ev.fn = at, e.seq, fn
 	e.events.push(ev)
-	if n := len(e.events); n > e.maxHeap {
-		e.maxHeap = n
+	if n := int64(len(e.events)); n > e.heapMax.Value() {
+		e.heapMax.Set(n)
 	}
 }
 
@@ -272,8 +275,8 @@ func (e *Engine) scheduleArgsAt(at Time, hfn func(a, b uint64), a, b uint64) {
 	ev := e.newEvent()
 	ev.at, ev.seq, ev.hfn, ev.a, ev.b = at, e.seq, hfn, a, b
 	e.events.push(ev)
-	if n := len(e.events); n > e.maxHeap {
-		e.maxHeap = n
+	if n := int64(len(e.events)); n > e.heapMax.Value() {
+		e.heapMax.Set(n)
 	}
 }
 

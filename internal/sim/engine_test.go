@@ -358,7 +358,7 @@ func TestWakeEmitsTraceAndCounters(t *testing.T) {
 	if snap.Counters["sim.proc_wakes"] != 1 {
 		t.Fatalf("sim.proc_wakes = %d, want 1", snap.Counters["sim.proc_wakes"])
 	}
-	if snap.Counters["sim.events_dispatched"] == 0 || snap.Counters["sim.heap_max_depth"] == 0 {
-		t.Fatalf("engine counters not sampled: %v", snap.Counters)
+	if snap.Counters["sim.events_dispatched"] == 0 || snap.Gauges["sim.heap_max_depth"] == 0 {
+		t.Fatalf("engine counters not sampled: %v / %v", snap.Counters, snap.Gauges)
 	}
 }

@@ -39,6 +39,14 @@ func bucketLe(b int) uint64 {
 	return 1<<uint(b) - 1
 }
 
+// NumBuckets is the fixed bucket count of every Histogram — exported for
+// samplers that ship raw bucket deltas and reassemble summaries remotely.
+const NumBuckets = histBuckets
+
+// BucketUpperBound returns the inclusive upper bound of bucket b, the Le
+// value a HistogramSummary reports for it.
+func BucketUpperBound(b int) uint64 { return bucketLe(b) }
+
 // Observe records one value.
 func (h *Histogram) Observe(v uint64) {
 	h.counts[bucketOf(v)]++
@@ -144,6 +152,53 @@ func (s *HistogramSummary) Merge(o HistogramSummary) {
 		}
 	}
 	s.Buckets = merged
+}
+
+// DeltaSummary builds the summary of a sampling window from two raw bucket
+// snapshots of the same histogram: cur was taken at the window's end, prev at
+// its start (nil or shorter slices are treated as zero — the first window of
+// a fresh cursor). n and sum are the window's observation-count and value-sum
+// deltas. Because the true per-window maximum is not recoverable from
+// monotone state, Max is the upper bound of the highest bucket the window
+// touched — the same resolution the quantiles have.
+func DeltaSummary(cur, prev []uint64, n, sum uint64) HistogramSummary {
+	s := HistogramSummary{N: n, Sum: sum}
+	for b, c := range cur {
+		var p uint64
+		if b < len(prev) {
+			p = prev[b]
+		}
+		if d := c - p; d > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{Le: bucketLe(b), Count: d})
+			s.Max = bucketLe(b)
+		}
+	}
+	return s
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1):
+// the Le bound of the bucket holding the ceil(q*N)-th smallest observation.
+// Empty summaries report 0. The estimate is exact to within one log2 bucket,
+// which is the histogram's resolution everywhere.
+func (s HistogramSummary) Quantile(q float64) uint64 {
+	if s.N == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.N))
+	if float64(rank) < q*float64(s.N) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			return b.Le
+		}
+	}
+	return s.Max
 }
 
 // Mean returns the summary's arithmetic mean, or 0 when empty.

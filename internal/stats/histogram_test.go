@@ -87,6 +87,150 @@ func TestSummaryMergeMatchesHistogramMerge(t *testing.T) {
 	}
 }
 
+// TestMergeMatchesCombinedStream is the mergeability contract behind every
+// parallel fold in the repository: merge(a, b) must be indistinguishable —
+// bucket counts, moments, and therefore every quantile — from observing both
+// streams into a single histogram.
+func TestMergeMatchesCombinedStream(t *testing.T) {
+	var a, b, combined Histogram
+	seedA := []uint64{0, 1, 3, 9, 81, 6561, 1 << 20, 1<<46 + 5}
+	seedB := []uint64{2, 2, 2, 500, 500, 1 << 33}
+	for i := uint64(0); i < 400; i++ {
+		v := seedA[i%uint64(len(seedA))] + i*i
+		a.Observe(v)
+		combined.Observe(v)
+	}
+	for i := uint64(0); i < 300; i++ {
+		v := seedB[i%uint64(len(seedB))] * (i + 1)
+		b.Observe(v)
+		combined.Observe(v)
+	}
+	a.Merge(&b)
+	ac, an, asum, amax := a.Raw()
+	cc, cn, csum, cmax := combined.Raw()
+	if an != cn || asum != csum || amax != cmax {
+		t.Fatalf("moments diverged: n %d/%d sum %d/%d max %d/%d", an, cn, asum, csum, amax, cmax)
+	}
+	for i := range ac {
+		if ac[i] != cc[i] {
+			t.Fatalf("bucket %d: merged %d, combined %d", i, ac[i], cc[i])
+		}
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1} {
+		if got, want := a.Summary().Quantile(q), combined.Summary().Quantile(q); got != want {
+			t.Fatalf("q%.3f: merged %d, combined %d", q, got, want)
+		}
+	}
+}
+
+// TestMergeEmptyAndOverflow pins the edge cases: merging with an empty
+// histogram is the identity in both directions, and values at or beyond the
+// top bucket's range clamp into the overflow bucket on both sides of a merge.
+func TestMergeEmptyAndOverflow(t *testing.T) {
+	var empty, h Histogram
+	h.Observe(42)
+	h.Merge(&empty)
+	if h.N() != 1 || h.Sum() != 42 || h.Max() != 42 {
+		t.Fatalf("merge with empty changed state: n=%d sum=%d max=%d", h.N(), h.Sum(), h.Max())
+	}
+	empty.Merge(&h)
+	if empty.N() != 1 || empty.Summary().Quantile(1) != h.Summary().Quantile(1) {
+		t.Fatalf("empty.Merge(h) != h: %+v", empty.Summary())
+	}
+	var e2 Histogram
+	if s := e2.Summary(); s.N != 0 || len(s.Buckets) != 0 || s.Quantile(0.99) != 0 {
+		t.Fatalf("empty summary not empty: %+v", s)
+	}
+
+	// ^uint64(0) has bit length 64 and 1<<47 has bit length 48: both clamp
+	// into the top (overflow) bucket, whose Le is the clamped bound — merges
+	// must keep them there rather than inventing new buckets.
+	var x, y Histogram
+	x.Observe(1 << 47)
+	y.Observe(^uint64(0))
+	x.Merge(&y)
+	s := x.Summary()
+	if len(s.Buckets) != 1 {
+		t.Fatalf("overflow values split buckets: %+v", s.Buckets)
+	}
+	if want := BucketUpperBound(NumBuckets - 1); s.Buckets[0].Le != want || s.Buckets[0].Count != 2 {
+		t.Fatalf("overflow bucket: got ≤%d count=%d, want ≤%d count=2", s.Buckets[0].Le, s.Buckets[0].Count, want)
+	}
+	if s.Max != ^uint64(0) {
+		t.Fatalf("max lost in overflow merge: %d", s.Max)
+	}
+}
+
+// TestDeltaSummary drives the windowed-delta path the observability samplers
+// use: raw snapshots before and after a burst of observations must reduce to
+// exactly the burst's summary, empty windows must come out empty, and the
+// overflow bucket must survive the round trip.
+func TestDeltaSummary(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	h.Observe(1000)
+	prevCounts, prevN, prevSum, _ := h.Raw()
+	prev := append([]uint64(nil), prevCounts...)
+
+	var window Histogram
+	for _, v := range []uint64{3, 70, 70, 1 << 50} {
+		h.Observe(v)
+		window.Observe(v)
+	}
+	curCounts, curN, curSum, _ := h.Raw()
+	d := DeltaSummary(curCounts, prev, curN-prevN, curSum-prevSum)
+	want := window.Summary()
+	if d.N != want.N || d.Sum != want.Sum || len(d.Buckets) != len(want.Buckets) {
+		t.Fatalf("delta %+v, want %+v", d, want)
+	}
+	for i := range d.Buckets {
+		if d.Buckets[i] != want.Buckets[i] {
+			t.Fatalf("delta bucket %d: %+v vs %+v", i, d.Buckets[i], want.Buckets[i])
+		}
+	}
+	// Max degrades to bucket resolution: the overflow bound, not 1<<50.
+	if d.Max != BucketUpperBound(NumBuckets-1) {
+		t.Fatalf("delta max=%d, want overflow bound", d.Max)
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if d.Quantile(q) != want.Quantile(q) {
+			t.Fatalf("q%.2f: delta %d, window %d", q, d.Quantile(q), want.Quantile(q))
+		}
+	}
+
+	// An idle window: identical snapshots, zero deltas.
+	empty := DeltaSummary(curCounts, curCounts, 0, 0)
+	if empty.N != 0 || len(empty.Buckets) != 0 {
+		t.Fatalf("idle window not empty: %+v", empty)
+	}
+	// A fresh cursor: nil prev means the whole histogram is the first window.
+	first := DeltaSummary(curCounts, nil, curN, curSum)
+	if first.N != h.N() || len(first.Buckets) == 0 {
+		t.Fatalf("first window: %+v", first)
+	}
+}
+
+func TestSummaryQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(100) // bucket ≤127
+	}
+	h.Observe(100_000) // bucket ≤131071
+	s := h.Summary()
+	if got := s.Quantile(0.5); got != 127 {
+		t.Fatalf("p50=%d, want 127", got)
+	}
+	if got := s.Quantile(0.99); got != 127 {
+		t.Fatalf("p99=%d, want 127 (99th of 100 obs)", got)
+	}
+	if got := s.Quantile(0.999); got != 131071 {
+		t.Fatalf("p999=%d, want 131071", got)
+	}
+	if got := s.Quantile(1); got != 131071 {
+		t.Fatalf("p100=%d, want 131071", got)
+	}
+}
+
 func TestSummaryRender(t *testing.T) {
 	var h Histogram
 	if got := h.Summary().Render(); got != "(empty)\n" {

@@ -14,6 +14,7 @@ package trace
 import (
 	"io"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -57,7 +58,7 @@ func Contribute(r *Recorder) {
 		return
 	}
 	evs := append([]Event(nil), r.Events()...)
-	c := capChunk{key: string(appendChunk(nil, 0, evs)), evs: evs}
+	c := capChunk{key: string(appendChunk(nil, 0, "engine 0", evs)), evs: evs}
 	captureMu.Lock()
 	chunks = append(chunks, c)
 	captureMu.Unlock()
@@ -73,7 +74,7 @@ func WriteCaptured(w io.Writer) error {
 	sort.Slice(cs, func(i, j int) bool { return cs[i].key < cs[j].key })
 	out := make([][]byte, len(cs))
 	for i, c := range cs {
-		out[i] = appendChunk(nil, i, c.evs)
+		out[i] = appendChunk(nil, i, "engine "+strconv.Itoa(i), c.evs)
 	}
 	return writeJSON(w, out)
 }

@@ -94,11 +94,11 @@ func appendMeta(b []byte, kind string, pid int, tid int64, name string) []byte {
 	return b
 }
 
-// appendChunk serializes evs (plus naming metadata) for the given pid. Every
-// event object is terminated by ",\n" so chunks concatenate directly inside
-// the traceEvents array.
-func appendChunk(b []byte, pid int, evs []Event) []byte {
-	b = appendMeta(b, "process_name", pid, -1, "engine "+strconv.Itoa(pid))
+// appendChunk serializes evs (plus naming metadata) for the given pid and
+// process name. Every event object is terminated by ",\n" so chunks
+// concatenate directly inside the traceEvents array.
+func appendChunk(b []byte, pid int, procName string, evs []Event) []byte {
+	b = appendMeta(b, "process_name", pid, -1, procName)
 	b = append(b, ",\n"...)
 	for _, t := range chunkTids(evs) {
 		name := "engine"
@@ -159,10 +159,41 @@ func WriteJSON(w io.Writer, recs ...*Recorder) error {
 		if r == nil {
 			continue
 		}
-		chunks = append(chunks, appendChunk(nil, pid, r.Events()))
+		chunks = append(chunks, appendChunk(nil, pid, "engine "+strconv.Itoa(pid), r.Events()))
 		pid++
 	}
 	return writeJSON(w, chunks)
+}
+
+// CounterPoint is one sample of a counter track: the series' value V at
+// virtual time At.
+type CounterPoint struct {
+	At uint64
+	V  uint64
+}
+
+// CounterTrack is a named time series exported as a Perfetto counter ('C')
+// track: one independently-plotted line per Name on the Core's timeline
+// (Core -1 places it on the engine row). Points must be in ascending At
+// order.
+type CounterTrack struct {
+	Name   string
+	Sub    Subsystem
+	Core   int32
+	Points []CounterPoint
+}
+
+// WriteJSONCounters exports counter tracks as one Chrome trace JSON document
+// under a single "counters" process. Like WriteJSON, the bytes are fully
+// determined by the inputs, so identical stores export identically.
+func WriteJSONCounters(w io.Writer, tracks ...CounterTrack) error {
+	var evs []Event
+	for _, tr := range tracks {
+		for _, p := range tr.Points {
+			evs = append(evs, Event{At: p.At, Arg: p.V, Name: tr.Name, Kind: Count, Sub: tr.Sub, Core: tr.Core})
+		}
+	}
+	return writeJSON(w, [][]byte{appendChunk(nil, 0, "counters", evs)})
 }
 
 // TextDump renders the retained events as aligned plain text — the flight

@@ -74,6 +74,7 @@ const (
 	SubKernel
 	SubBaseline
 	SubApp
+	SubObs
 )
 
 func (s Subsystem) String() string {
@@ -94,6 +95,8 @@ func (s Subsystem) String() string {
 		return "baseline"
 	case SubApp:
 		return "app"
+	case SubObs:
+		return "obs"
 	}
 	return "?"
 }

@@ -131,6 +131,76 @@ func TestWriteJSONIsValidChromeTrace(t *testing.T) {
 	}
 }
 
+// TestWriteJSONCountersRoundTrip exports two counter tracks and parses the
+// document back: every sample must come out as a 'C' event whose (name, ts,
+// args.v, tid, cat) reconstruct the original series exactly — the contract
+// Perfetto counter rendering and mkstat -perfetto rely on.
+func TestWriteJSONCountersRoundTrip(t *testing.T) {
+	heat := CounterTrack{
+		Name: "interconnect.link.0-1.dwords", Sub: SubObs, Core: 0,
+		Points: []CounterPoint{{At: 1000, V: 0}, {At: 2000, V: 48}, {At: 3000, V: 112}},
+	}
+	depth := CounterTrack{
+		Name: "kv.server.2.pending", Sub: SubObs, Core: 2,
+		Points: []CounterPoint{{At: 1000, V: 3}, {At: 2000, V: 0}},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONCounters(&buf, heat, depth); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("counter export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	got := map[string][]CounterPoint{}
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] != "C" {
+			continue
+		}
+		if ev["cat"] != "obs" {
+			t.Fatalf("counter category %v, want obs", ev["cat"])
+		}
+		name := ev["name"].(string)
+		v := ev["args"].(map[string]any)["v"].(float64)
+		got[name] = append(got[name], CounterPoint{At: uint64(ev["ts"].(float64)), V: uint64(v)})
+		wantTid := int64(1)
+		if name == depth.Name {
+			wantTid = 3
+		}
+		if int64(ev["tid"].(float64)) != wantTid {
+			t.Fatalf("%s on tid %v, want %d", name, ev["tid"], wantTid)
+		}
+	}
+	for _, tr := range []CounterTrack{heat, depth} {
+		pts := got[tr.Name]
+		if len(pts) != len(tr.Points) {
+			t.Fatalf("%s: %d points round-tripped, want %d", tr.Name, len(pts), len(tr.Points))
+		}
+		for i, p := range pts {
+			if p != tr.Points[i] {
+				t.Fatalf("%s point %d: %+v, want %+v", tr.Name, i, p, tr.Points[i])
+			}
+		}
+	}
+
+	// Zero samples must survive: a counter dropping to 0 is a real point
+	// (the args object is emitted for 'C' even when v==0).
+	if got[depth.Name][1].V != 0 {
+		t.Fatal("zero-valued counter sample lost")
+	}
+
+	// Byte stability, same contract as WriteJSON.
+	var again bytes.Buffer
+	if err := WriteJSONCounters(&again, heat, depth); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("two counter exports differ")
+	}
+}
+
 // TestWriteJSONByteStable re-exports the same recorder and requires identical
 // bytes — the property the determinism test hashes.
 func TestWriteJSONByteStable(t *testing.T) {
