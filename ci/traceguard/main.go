@@ -23,6 +23,13 @@
 //     that dispatches even one event more or fewer than the committed
 //     baseline — i.e. diverges from the serial schedule — fails CI.
 //
+//   - The parallel-boot determinism contract: the pinned full-system boot
+//     workload (-bench=BootParallelPinned in internal/expt) boots the whole
+//     multikernel on the 8-socket machine with core.BootParallel and replays
+//     the staged shootdown schedule at 1, 2 and 4 workers. Its simevents/op
+//     entries are pinned exactly and must match across worker counts — the
+//     booted-system analogue of the engine-level gate above.
+//
 //   - The observability-plane cost contract: the pinned obs workload
 //     (-bench=ObsPinned in internal/obs) runs the same cross-socket URPC
 //     exchange with no plane, a disabled plane and a live sampling plane.
@@ -168,6 +175,7 @@ func runSimBenchmarks() (map[string]float64, error) {
 	for _, run := range []struct{ bench, pkg string }{
 		{"URPCPipelined|BulkTransfer", "./internal/urpc/"},
 		{"ParallelEnginePinned", "./internal/sim/"},
+		{"BootParallelPinned", "./internal/expt/"},
 		{"ObsPinned", "./internal/obs/"},
 	} {
 		cmd := exec.Command("go", "test", "-run=NONE",

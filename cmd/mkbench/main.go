@@ -9,7 +9,7 @@
 //	        [-fault-seed N] [experiment ...]
 //
 // Experiments: fig3 tab1 tab2 tab3 fig6 fig7 fig8 tab4 fig9 sec54 poll
-// ablations extensions faults kvfault obs urpcv2 sim, or "all" (the
+// ablations extensions faults kvfault obs urpcv2 sim boot, or "all" (the
 // default).
 //
 // The obs experiment re-runs the kvcluster fail-over scenario with the
@@ -37,6 +37,14 @@
 // comparison of a boot-per-point sweep against a boot-once/restore-per-point
 // sweep. -checkpoint saves that boot image to a file; -restore feeds a saved
 // image back in, so a later run skips simulated boot entirely.
+//
+// The boot experiment puts the whole multikernel on the parallel engine:
+// core.BootParallel on the 8x4-core AMD machine (one replica per socket),
+// driven through shootdown-storm, web+database and replicated-kvcluster
+// workloads at 1/2/4 workers, reporting wall-clock speedup and byte
+// identity of traces, merged metrics and the parallel checkpoint image
+// against the workers=1 run. The JSON records boot.runner_cores because
+// speedup needs idle host cores; identity does not.
 //
 // Independent experiment points run across a pool of -parallel worker
 // threads (default GOMAXPROCS); output is byte-identical to -parallel 1
@@ -158,6 +166,7 @@ func main() {
 	fig9Scale := 1.0
 	simScale := 4000
 	simPoints := 8
+	bootScale := 24
 	if *quick {
 		iters = 3
 		webWindow = 10_000_000
@@ -165,6 +174,7 @@ func main() {
 		fig9Scale = 0.25
 		simScale = 600
 		simPoints = 4
+		bootScale = 6
 	}
 
 	pw, ph := 0, 0
@@ -250,6 +260,26 @@ func main() {
 			showFig("urpcv2-depth", expt.URPCv2Depth(30*iters))
 			showFig("urpcv2-size", expt.URPCv2Size(3*iters))
 			showTab(expt.URPCv2Table(30 * iters))
+		}},
+		{"boot", func() {
+			counts := []int{2, 4}
+			if w := harness.RunWorkers(); w > 1 && w != 2 && w != 4 {
+				counts = append(counts, w)
+			}
+			rows := expt.BootParallelBench(bootScale, counts)
+			showTab(expt.BootBenchTable(rows))
+			identical := true
+			for _, r := range rows {
+				key := fmt.Sprintf("boot.%s.w%d", r.Workload, r.Workers)
+				headline[key+".seconds"] = round3(r.Seconds)
+				headline[key+".speedup"] = round3(r.Speedup)
+				headline[key+".sim_events"] = float64(r.SimEvents)
+				identical = identical && r.Identical
+			}
+			headline["boot.identical"] = b2f(identical)
+			// The honest caveat the speedup claim depends on: wall-clock gains
+			// need as many idle host cores as workers; byte identity does not.
+			headline["boot.runner_cores"] = float64(runtime.NumCPU())
 		}},
 		{"sim", func() {
 			counts := []int{2, 4, 8}

@@ -9,7 +9,7 @@
 // Usage:
 //
 //	mkcheck [-seeds N] [-seed-base B] [-depth D] [-jitter J] [-faults]
-//	        [-workloads kv,urpc,monitor] [-parallel N] [-no-shrink] [-v]
+//	        [-workloads kv,kvfailover,urpc,monitor] [-parallel N] [-no-shrink] [-v]
 //	mkcheck -workloads W -replay SCRIPT -seed-base SEED [-faults]
 //
 // On failure, mkcheck shrinks the first failing run's perturbation list by

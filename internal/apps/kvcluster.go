@@ -260,6 +260,10 @@ func NewKVCluster(e *sim.Engine, sys *cache.System, net *monitor.Network, cfg Cl
 			ch := urpc.New(sys, a, b, urpc.Options{Slots: 16, Home: int(sys.Machine().Socket(b))})
 			cl.byCore[a].out[b] = ch
 			cl.byCore[b].in[a] = ch
+			// Parallel boot: a replication/ack line arriving from another
+			// partition is the receiving shard server's interrupt.
+			rcv := b
+			ch.OnRemoteDeliver = func() { cl.wakeServer(rcv) }
 		}
 	}
 	// Seed every shard copy identically (the linearizability checker's
@@ -273,6 +277,12 @@ func NewKVCluster(e *sim.Engine, sys *cache.System, net *monitor.Network, cfg Cl
 		}
 	}
 	for _, c := range cl.members {
+		if !sys.LocalCore(c) {
+			// Parallel boot: the server structure exists in every replica
+			// (channel ends, seeded rows), but the loop runs only where the
+			// core is local.
+			continue
+		}
 		srv := cl.byCore[c]
 		srv.proc = e.Spawn(fmt.Sprintf("kvshard@c%d", c), srv.run)
 	}
@@ -344,8 +354,18 @@ func (cl *KVCluster) Shards() int { return len(cl.shards) }
 // map is NOT updated: the cluster learns through backup-ack timeouts and the
 // monitors' failure detection, like a real deployment would.
 func (cl *KVCluster) KillCore(c topo.CoreID) {
-	if srv, ok := cl.byCore[c]; ok {
+	if srv, ok := cl.byCore[c]; ok && srv.proc != nil {
 		cl.eng.Kill(srv.proc)
+	}
+}
+
+// wakeServer notifies core c's shard server if its loop runs in this replica.
+// A nil proc means the core is remote under a parallel boot — there the
+// channel's delivery doorbell (OnRemoteDeliver) wakes the real server in its
+// own partition's replica.
+func (cl *KVCluster) wakeServer(c topo.CoreID) {
+	if srv, ok := cl.byCore[c]; ok && srv.proc != nil {
+		cl.eng.Wake(srv.proc)
 	}
 }
 
@@ -384,7 +404,7 @@ func (cl *KVCluster) coreDown(p *sim.Proc, c topo.CoreID) {
 				cl.stats.Promotions++
 				cl.mPromotions.Inc()
 				cl.emit(p, st.primary, "kv.promote", uint64(s), uint64(st.primary))
-				cl.eng.Wake(cl.byCore[st.primary].proc)
+				cl.wakeServer(st.primary)
 			}
 		} else if containsCore(st.isr, c) {
 			st.isr = removeCore(st.isr, c)
@@ -441,7 +461,7 @@ func (cl *KVCluster) maybeRecruit(p *sim.Proc, s int) {
 			cl.stats.Recruits++
 			cl.mRecruits.Inc()
 			cl.emit(p, sp, "kv.recruit", uint64(s), uint64(sp))
-			cl.eng.Wake(cl.byCore[st.primary].proc)
+			cl.wakeServer(st.primary)
 			return
 		}
 	}
@@ -738,7 +758,7 @@ func (srv *kvServer) handleMesh(p *sim.Proc, src topo.CoreID, m urpc.Message) {
 		}
 		if ch, ok := srv.out[src]; ok {
 			if ch.SendTimeout(p, urpc.Message{key, 1, ckOpReplAck, reqID, uint64(s)}, cl.cfg.ReplTimeout) {
-				cl.eng.Wake(cl.byCore[src].proc)
+				cl.wakeServer(src)
 			}
 		}
 	case ckOpReplAck:
@@ -762,7 +782,7 @@ func (srv *kvServer) handleMesh(p *sim.Proc, src topo.CoreID, m urpc.Message) {
 		delete(srv.syncRecv, s)
 		if ch, ok := srv.out[src]; ok {
 			if ch.SendTimeout(p, urpc.Message{0, 0, ckOpSyncAck, m[3], uint64(s)}, cl.cfg.SyncTimeout) {
-				cl.eng.Wake(cl.byCore[src].proc)
+				cl.wakeServer(src)
 			}
 		}
 	case ckOpSyncAck:
@@ -814,7 +834,7 @@ func (srv *kvServer) serviceWrites(p *sim.Proc) bool {
 			for _, b := range st.isr {
 				if srv.out[b].SendTimeout(p, urpc.Message{w.key, w.val, ckOpRepl, w.reqID, uint64(s)}, cl.cfg.ReplTimeout) {
 					w.waiting[b] = true
-					cl.eng.Wake(cl.byCore[b].proc)
+					cl.wakeServer(b)
 				} else {
 					// Channel dead or ring jammed past the deadline: demote
 					// now, before any ack could depend on this backup.
@@ -905,7 +925,7 @@ func (srv *kvServer) startSync(p *sim.Proc, s int, target topo.CoreID) {
 	// Wake the recruit before streaming: the transfer can be longer than the
 	// ring, so the receiver must drain concurrently or the sends would stall
 	// against a parked core until the sync deadline.
-	cl.eng.Wake(cl.byCore[target].proc)
+	cl.wakeServer(target)
 	rows := sortedKeys(srv.data[s])
 	dups := sortedKeys(srv.dedup[s])
 	ok := true
@@ -932,7 +952,7 @@ func (srv *kvServer) startSync(p *sim.Proc, s int, target topo.CoreID) {
 		cl.syncFailed(p, s, target)
 		return
 	}
-	cl.eng.Wake(cl.byCore[target].proc)
+	cl.wakeServer(target)
 	srv.syncs[s] = &pendingSync{target: target, syncID: id, deadline: p.Now() + cl.cfg.SyncTimeout}
 }
 
@@ -995,7 +1015,11 @@ func (cl *KVCluster) Connect(core topo.CoreID) *ClusterClient {
 		srv.clients = append(srv.clients, core)
 		srv.clientReq[core] = c.req[m]
 		srv.clientRsp[core] = c.rsp[m]
-		cl.eng.Wake(srv.proc)
+		// Parallel boot: a request arriving from a cross-partition client is
+		// the server's interrupt.
+		dst := m
+		c.req[m].OnRemoteDeliver = func() { cl.wakeServer(dst) }
+		cl.wakeServer(m)
 	}
 	// Register the client proc lazily: the first request records it.
 	return c
@@ -1052,7 +1076,7 @@ func (c *ClusterClient) attempt(p *sim.Proc, key, val, op, reqID uint64) (v, f, 
 		reqCh.MarkDead()
 		return 0, 0, 0, false
 	}
-	cl.eng.Wake(srv.proc)
+	cl.wakeServer(primary)
 	deadline := p.Now() + cl.cfg.RequestTimeout
 	for {
 		remain := deadline - p.Now()

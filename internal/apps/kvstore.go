@@ -139,20 +139,36 @@ type KVService struct {
 	eng   *sim.Engine
 }
 
-// NewKVService starts the service on its store's core.
+// NewKVService starts the service on its store's core. Under a parallel boot
+// the service proc runs only in the replica owning that core; other replicas
+// hold the structure (and the channel ends built by Connect) without a loop.
 func NewKVService(e *sim.Engine, kv *KVStore) *KVService {
 	s := &KVService{kv: kv, eng: e}
-	s.proc = e.Spawn(fmt.Sprintf("kvsvc@c%d", kv.core), func(p *sim.Proc) {
-		p.SetDaemon(true)
-		s.loop(p)
-	})
+	if kv.sys.LocalCore(kv.core) {
+		s.proc = e.Spawn(fmt.Sprintf("kvsvc@c%d", kv.core), func(p *sim.Proc) {
+			p.SetDaemon(true)
+			s.loop(p)
+		})
+	}
 	return s
 }
 
 // FailStop kills the service process at the current virtual time — the
 // fault-injection notion of the service core dying. Clients are not told;
 // they learn through their own deadlines.
-func (s *KVService) FailStop() { s.eng.Kill(s.proc) }
+func (s *KVService) FailStop() {
+	if s.proc != nil {
+		s.eng.Kill(s.proc)
+	}
+}
+
+// wake notifies the service loop if it runs in this replica; a cross-partition
+// client instead relies on the request channel's delivery doorbell.
+func (s *KVService) wake() {
+	if s.proc != nil {
+		s.eng.Wake(s.proc)
+	}
+}
 
 // Connect returns a client handle for a caller on the given core.
 func (s *KVService) Connect(client topo.CoreID) *KVClient {
@@ -163,10 +179,13 @@ func (s *KVService) Connect(client topo.CoreID) *KVClient {
 		Slots: 8, SlotLines: kvBulkSlotLines,
 		Home: int(sys.Machine().Socket(client)), Prefetch: true,
 	})
+	// A request line landing from the client's partition is the service-side
+	// arrival interrupt (fires only in the replica that runs the loop).
+	req.OnRemoteDeliver = s.wake
 	s.reqs = append(s.reqs, req)
 	s.rsps = append(s.rsps, rsp)
 	s.bulks = append(s.bulks, bulk)
-	s.eng.Wake(s.proc)
+	s.wake()
 	return &KVClient{req: req, rsp: rsp, bulk: bulk, svc: s, Timeout: DefaultKVTimeout}
 }
 
@@ -313,7 +332,7 @@ func (c *KVClient) Select(p *sim.Proc, key uint64) (uint64, bool, error) {
 		c.fail()
 		return 0, false, ErrChannelDead
 	}
-	c.svc.eng.Wake(c.svc.proc) // notify a parked service
+	c.svc.wake() // notify a parked service
 	m, ok := c.rsp.RecvTimeout(p, c.Timeout)
 	if !ok {
 		c.fail()
@@ -341,7 +360,7 @@ func (c *KVClient) Update(p *sim.Proc, key, val uint64) (bool, error) {
 		c.fail()
 		return false, ErrChannelDead
 	}
-	c.svc.eng.Wake(c.svc.proc)
+	c.svc.wake()
 	m, ok := c.rsp.RecvTimeout(p, c.Timeout)
 	if !ok {
 		c.fail()
@@ -375,7 +394,7 @@ func (c *KVClient) SelectMany(p *sim.Proc, keys []uint64) (vals []uint64, found 
 			c.fail()
 			return vals, found, ErrChannelDead
 		}
-		c.svc.eng.Wake(c.svc.proc)
+		c.svc.wake()
 		got := 0
 		deadline := p.Now() + c.Timeout
 		for got < n {
@@ -410,7 +429,7 @@ func (c *KVClient) SelectRange(p *sim.Proc, lo, hi uint64) ([]uint64, error) {
 		c.fail()
 		return nil, ErrChannelDead
 	}
-	c.svc.eng.Wake(c.svc.proc)
+	c.svc.wake()
 	var vals []uint64
 	total := -1
 	deadline := p.Now() + c.Timeout

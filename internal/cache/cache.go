@@ -105,6 +105,10 @@ const (
 	AuditFlush
 	// AuditDMA: a non-coherent device write invalidated every cached copy.
 	AuditDMA
+	// AuditRemote: a cross-partition delivery landed a forwarded line in this
+	// replica (parallel boot only): the directory is re-pointed at the remote
+	// writer so the next local access charges an owner-forwarded fill.
+	AuditRemote
 )
 
 func (r Reason) String() string {
@@ -123,6 +127,8 @@ func (r Reason) String() string {
 		return "flush"
 	case AuditDMA:
 		return "dma"
+	case AuditRemote:
+		return "remote"
 	}
 	return "?"
 }
@@ -188,6 +194,11 @@ type System struct {
 
 	// audit, when non-nil, observes every directory transition (SetAudit).
 	audit Audit
+
+	// part, when non-nil, marks this system as one partition's replica of a
+	// parallel-booted machine (see partition.go). Serial systems pay one nil
+	// check per store for it.
+	part *partState
 }
 
 // maxInflightStores is the per-core store-miss MSHR budget.
@@ -568,6 +579,7 @@ func (s *System) Store(p *sim.Proc, c topo.CoreID, a memory.Addr, v uint64) {
 		s.markDirty(c, a, l)
 		p.Sleep(s.mach.Costs.Store)
 		s.mem.StoreWord(a, v)
+		s.maybeForward(a)
 		return
 	}
 	if s.inflight[c] < maxInflightStores && l.res.TryAcquire() {
@@ -585,6 +597,7 @@ func (s *System) Store(p *sim.Proc, c topo.CoreID, a memory.Addr, v uint64) {
 			l.res.Release()
 		})
 		p.Sleep(s.mach.Costs.StoreIssue)
+		s.maybeForward(a)
 		return
 	}
 	// Contended: queue behind in-flight transfers. Having waited in the
@@ -609,6 +622,7 @@ func (s *System) Store(p *sim.Proc, c topo.CoreID, a memory.Addr, v uint64) {
 		p.Sleep(lat)
 	}()
 	s.mem.StoreWord(a, v)
+	s.maybeForward(a)
 }
 
 // ownershipLat performs the directory updates for core c taking exclusive
@@ -653,6 +667,7 @@ func (s *System) RMW(p *sim.Proc, c topo.CoreID, a memory.Addr, fn func(uint64) 
 		v = fn(s.mem.LoadWord(a))
 		s.mem.StoreWord(a, v)
 	}()
+	s.maybeForward(a)
 	return v
 }
 
@@ -661,6 +676,16 @@ func (s *System) RMW(p *sim.Proc, c topo.CoreID, a memory.Addr, fn func(uint64) 
 // into the line" fast path (§4.6).
 func (s *System) StoreLine(p *sim.Proc, c topo.CoreID, a memory.Addr, vals [memory.WordsPerLine]uint64) {
 	base := a.Line().Base()
+	if s.part != nil {
+		// Forward once, after the full line is written, not per word — the
+		// word-0 store's hook is suppressed so the reader's replica never
+		// sees a half-written line image.
+		s.part.suppress = true
+		defer func() {
+			s.part.suppress = false
+			s.maybeForward(base)
+		}()
+	}
 	s.Store(p, c, base, vals[0])
 	// Remaining words are hits in the now-exclusive line.
 	p.Sleep(s.mach.Costs.Store * sim.Time(memory.WordsPerLine-1))

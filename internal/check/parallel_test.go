@@ -1,0 +1,127 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"multikernel/internal/apps"
+	"multikernel/internal/core"
+	"multikernel/internal/interconnect"
+	"multikernel/internal/sim"
+	"multikernel/internal/topo"
+	"multikernel/internal/trace"
+)
+
+// mergeByTime interleaves per-partition traces into one global scan order.
+// Each recorder is already time-ordered; a stable sort on At keeps partition
+// order as the tie-break, so the merge is deterministic. CheckTransport's
+// forward scan then sees every channel's transmits (sender's replica) before
+// the matching deliveries (receiver's replica, at least one lookahead later).
+func mergeByTime(recs []*trace.Recorder) []trace.Event {
+	var all []trace.Event
+	for _, r := range recs {
+		all = append(all, r.Events()...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].At < all[j].At })
+	return all
+}
+
+// The oracles must accept a ParallelEngine-booted system: the MOESI audit
+// (including the AuditRemote transitions the cross-partition mirror path
+// emits), the URPC transport invariants reconstructed across per-partition
+// traces, and kvstore linearizability over clients on remote partitions —
+// on the default schedule and under seeded per-partition perturbation.
+func TestOraclesAcceptParallelBootedSystem(t *testing.T) {
+	for _, perturbed := range []bool{false, true} {
+		name := "default-schedule"
+		if perturbed {
+			name = "perturbed-schedule"
+		}
+		t.Run(name, func(t *testing.T) {
+			const (
+				seed    = 11
+				rows    = 16
+				opsPer  = 12
+				horizon = sim.Time(200_000_000)
+			)
+			m := topo.AMD8x4()
+			pm := topo.PerSocket(m)
+			pe := sim.NewParallelEngine(pm.NParts(), interconnect.Lookahead(m, pm), seed, 2)
+			defer pe.Close()
+
+			recs := make([]*trace.Recorder, pm.NParts())
+			for i := range recs {
+				recs[i] = trace.NewRecorder()
+				pe.Part(i).SetTracer(recs[i])
+				if perturbed {
+					// One perturber per partition engine: the hook state is
+					// engine-local, so worker goroutines never share it.
+					pe.Part(i).SetPerturb(NewPerturber(seed+uint64(i), 32, DefaultMaxJitter).Hook)
+				}
+			}
+			ps := core.BootParallel(pe, m, core.Options{})
+
+			mcs := make([]*MOESIChecker, pm.NParts())
+			ps.Each(func(part int, s *core.System) {
+				mcs[part] = NewMOESIChecker()
+				s.Cache.SetAudit(mcs[part])
+			})
+
+			// kvstore service on core 0 (partition 0), clients on cores 4 and
+			// 8 (partitions 1 and 2): every request and reply crosses a
+			// partition boundary through the URPC mirror path.
+			init := make(map[uint64]uint64, rows)
+			for k := uint64(0); k < rows; k++ {
+				init[k] = k*2654435761 + 1 // NewKVStore's seeding formula
+			}
+			clients := []topo.CoreID{4, 8}
+			ps.Each(func(part int, s *core.System) {
+				kv := apps.NewKVStore(s.Cache, 0, rows)
+				svc := apps.NewKVService(s.Eng, kv)
+				for ci, c := range clients {
+					cl := svc.Connect(c)
+					if !s.Cache.LocalCore(c) {
+						continue
+					}
+					ci := ci
+					s.Eng.Spawn(fmt.Sprintf("client%d", ci), func(p *sim.Proc) {
+						for i := 0; i < opsPer; i++ {
+							key := uint64((i*5 + ci) % rows)
+							if i%2 == 0 {
+								if _, err := cl.Update(p, key, uint64(ci+1)*1_000_000+uint64(i)); err != nil {
+									t.Errorf("client %d update: %v", ci, err)
+									return
+								}
+							} else {
+								if _, _, err := cl.Select(p, key); err != nil {
+									t.Errorf("client %d select: %v", ci, err)
+									return
+								}
+							}
+						}
+					})
+				}
+			})
+
+			pe.RunUntil(horizon)
+			if dead := pe.Deadlocked(); len(dead) != 0 {
+				t.Fatalf("deadlocked: %v", dead)
+			}
+
+			var viol []Violation
+			ps.Each(func(part int, s *core.System) {
+				viol = append(viol, mcs[part].Finish(s.Cache)...)
+			})
+			events := mergeByTime(recs)
+			if len(events) == 0 {
+				t.Fatal("no trace events recorded")
+			}
+			viol = append(viol, CheckTransport(events)...)
+			viol = append(viol, CheckLinearizable(ExtractKVHistory(events), init)...)
+			for _, v := range viol {
+				t.Errorf("%s", v)
+			}
+		})
+	}
+}

@@ -52,6 +52,12 @@ type Options struct {
 	// SharedReplicas shares one capability replica per socket behind a
 	// spinlock instead of one per core (§3.3's sharing-as-optimization).
 	SharedReplicas bool
+
+	// Workers selects the engine: 0 boots on the serial reference engine,
+	// >0 boots on a sim.ParallelEngine with that host-goroutine budget (see
+	// BootAuto). BootParallel ignores it — the ParallelEngine passed in
+	// already fixes the worker count.
+	Workers int
 }
 
 // spaceTag packs an address-space ID and virtual address into the physical
@@ -74,10 +80,21 @@ func Boot(e *sim.Engine, m *topo.Machine) *System {
 
 // BootWith is Boot with explicit configuration.
 func BootWith(e *sim.Engine, m *topo.Machine, opts Options) *System {
+	return bootWith(e, m, opts, nil)
+}
+
+// bootWith is the shared boot sequence. partition, when non-nil, runs right
+// after the cache system exists and before anything allocates channels or
+// spawns procs — the one point where a parallel boot marks the replica's
+// partition (every later layer consults cache.System.LocalCore/ShareRegion).
+func bootWith(e *sim.Engine, m *topo.Machine, opts Options, partition func(s *System)) *System {
 	s := &System{Eng: e, Mach: m}
 	s.Mem = memory.New(m)
 	s.Fabric = interconnect.New(m)
 	s.Cache = cache.New(e, m, s.Mem, s.Fabric)
+	if partition != nil {
+		partition(s)
+	}
 	s.Kern = kernel.NewSystem(e, m)
 	s.KB = skb.New(m)
 	s.KB.Discover()

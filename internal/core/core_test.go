@@ -10,168 +10,172 @@ import (
 	"multikernel/internal/vm"
 )
 
-func boot(t *testing.T, m *topo.Machine) (*sim.Engine, *System) {
-	t.Helper()
-	e := sim.NewEngine(1)
-	s := Boot(e, m)
-	t.Cleanup(e.Close)
-	return e, s
-}
-
 func TestBootPopulatesEverything(t *testing.T) {
-	_, s := boot(t, topo.AMD4x4())
-	if s.KB.Count("core") != 16 {
-		t.Fatal("SKB not discovered")
-	}
-	if s.KB.Latency(0, 15) == 0 {
-		t.Fatal("SKB latency measurements missing")
-	}
-	for c := 0; c < 16; c++ {
-		if s.Net.Monitor(topo.CoreID(c)) == nil {
-			t.Fatalf("no monitor on core %d", c)
+	forEachEngine(t, topo.AMD4x4(), func(t *testing.T, ec engineCase) {
+		s := ec.s
+		if s.KB.Count("core") != 16 {
+			t.Fatal("SKB not discovered")
 		}
-		if s.Net.Monitor(topo.CoreID(c)).CS.Len() != 1 {
-			t.Fatalf("core %d cspace should hold its boot RAM cap", c)
+		if s.KB.Latency(0, 15) == 0 {
+			t.Fatal("SKB latency measurements missing")
 		}
-	}
+		for c := 0; c < 16; c++ {
+			if s.Net.Monitor(topo.CoreID(c)) == nil {
+				t.Fatalf("no monitor on core %d", c)
+			}
+			if s.Net.Monitor(topo.CoreID(c)).CS.Len() != 1 {
+				t.Fatalf("core %d cspace should hold its boot RAM cap", c)
+			}
+		}
+	})
 }
 
 func TestDomainMapAccessUnmap(t *testing.T) {
-	e, s := boot(t, topo.AMD4x4())
-	var failed string
-	e.Spawn("init", func(p *sim.Proc) {
-		cores := []topo.CoreID{0, 4, 8, 12}
-		d, err := s.NewDomain(p, "app", cores)
-		if err != nil {
-			failed = err.Error()
-			return
-		}
-		va, err := d.MapAnon(p, 0, 2*vm.PageSize, vm.Read|vm.Write)
-		if err != nil {
-			failed = err.Error()
-			return
-		}
-		// Touch the mapping from every core of the domain.
-		for _, c := range cores {
-			if _, err := d.Space.Access(p, c, va+8, true, uint64(c)); err != nil {
+	forEachEngine(t, topo.AMD4x4(), func(t *testing.T, ec engineCase) {
+		e, s := ec.e, ec.s
+		var failed string
+		e.Spawn("init", func(p *sim.Proc) {
+			cores := []topo.CoreID{0, 4, 8, 12}
+			d, err := s.NewDomain(p, "app", cores)
+			if err != nil {
 				failed = err.Error()
 				return
 			}
-		}
-		// Unmap with full shootdown.
-		if err := d.Unmap(p, 0, va, 2*vm.PageSize, monitor.NUMAAware); err != nil {
-			failed = err.Error()
-			return
-		}
-		s.VM.CheckNoStaleTLB(d.Space.ID, va, 2*vm.PageSize)
-		if _, err := d.Space.Access(p, 8, va, false, 0); err == nil {
-			failed = "access after unmap succeeded"
+			va, err := d.MapAnon(p, 0, 2*vm.PageSize, vm.Read|vm.Write)
+			if err != nil {
+				failed = err.Error()
+				return
+			}
+			// Touch the mapping from every core of the domain.
+			for _, c := range cores {
+				if _, err := d.Space.Access(p, c, va+8, true, uint64(c)); err != nil {
+					failed = err.Error()
+					return
+				}
+			}
+			// Unmap with full shootdown.
+			if err := d.Unmap(p, 0, va, 2*vm.PageSize, monitor.NUMAAware); err != nil {
+				failed = err.Error()
+				return
+			}
+			s.VM.CheckNoStaleTLB(d.Space.ID, va, 2*vm.PageSize)
+			if _, err := d.Space.Access(p, 8, va, false, 0); err == nil {
+				failed = "access after unmap succeeded"
+			}
+		})
+		ec.run()
+		if failed != "" {
+			t.Fatal(failed)
 		}
 	})
-	e.Run()
-	if failed != "" {
-		t.Fatal(failed)
-	}
 }
 
 func TestProtectDowngradesEverywhere(t *testing.T) {
-	e, s := boot(t, topo.AMD2x2())
-	var failed string
-	e.Spawn("init", func(p *sim.Proc) {
-		cores := []topo.CoreID{0, 1, 2, 3}
-		d, _ := s.NewDomain(p, "app", cores)
-		va, _ := d.MapAnon(p, 0, vm.PageSize, vm.Read|vm.Write)
-		for _, c := range cores {
-			d.Space.Access(p, c, va, true, 1) // warm all TLBs writable
-		}
-		if err := d.Protect(p, 0, va, vm.PageSize, vm.Read, monitor.NUMAAware); err != nil {
-			failed = err.Error()
-			return
-		}
-		for _, c := range cores {
-			if _, err := d.Space.Access(p, c, va, true, 2); err != vm.ErrPerms {
-				failed = "write allowed after protect"
+	forEachEngine(t, topo.AMD2x2(), func(t *testing.T, ec engineCase) {
+		e, s := ec.e, ec.s
+		var failed string
+		e.Spawn("init", func(p *sim.Proc) {
+			cores := []topo.CoreID{0, 1, 2, 3}
+			d, _ := s.NewDomain(p, "app", cores)
+			va, _ := d.MapAnon(p, 0, vm.PageSize, vm.Read|vm.Write)
+			for _, c := range cores {
+				d.Space.Access(p, c, va, true, 1) // warm all TLBs writable
+			}
+			if err := d.Protect(p, 0, va, vm.PageSize, vm.Read, monitor.NUMAAware); err != nil {
+				failed = err.Error()
 				return
 			}
-			if _, err := d.Space.Access(p, c, va, false, 0); err != nil {
-				failed = "read denied after protect"
-				return
+			for _, c := range cores {
+				if _, err := d.Space.Access(p, c, va, true, 2); err != vm.ErrPerms {
+					failed = "write allowed after protect"
+					return
+				}
+				if _, err := d.Space.Access(p, c, va, false, 0); err != nil {
+					failed = "read denied after protect"
+					return
+				}
 			}
+		})
+		ec.run()
+		if failed != "" {
+			t.Fatal(failed)
 		}
 	})
-	e.Run()
-	if failed != "" {
-		t.Fatal(failed)
-	}
 }
 
 func TestGlobalRetypeKeepsReplicasConsistent(t *testing.T) {
-	e, s := boot(t, topo.AMD4x4())
-	committed := false
-	e.Spawn("init", func(p *sim.Proc) {
-		reg := s.Mem.Alloc(8*4096, 0)
-		committed = s.GlobalRetype(p, 3, reg.Base, reg.Bytes, caps.Frame, 0)
-	})
-	e.Run()
-	if !committed {
-		t.Fatal("retype aborted")
-	}
-	if err := s.CheckCapConsistency(); err != nil {
-		t.Fatal(err)
-	}
-	// Every core's replica must now hold the Frame typing.
-	for c := 0; c < 16; c++ {
-		found := false
-		for _, cap := range s.Net.Monitor(topo.CoreID(c)).CS.All() {
-			if cap.Type == caps.Frame {
-				found = true
+	forEachEngine(t, topo.AMD4x4(), func(t *testing.T, ec engineCase) {
+		e, s := ec.e, ec.s
+		committed := false
+		e.Spawn("init", func(p *sim.Proc) {
+			reg := s.Mem.Alloc(8*4096, 0)
+			committed = s.GlobalRetype(p, 3, reg.Base, reg.Bytes, caps.Frame, 0)
+		})
+		ec.run()
+		if !committed {
+			t.Fatal("retype aborted")
+		}
+		if err := s.CheckCapConsistency(); err != nil {
+			t.Fatal(err)
+		}
+		// Every core's replica must now hold the Frame typing.
+		for c := 0; c < 16; c++ {
+			found := false
+			for _, cap := range s.Net.Monitor(topo.CoreID(c)).CS.All() {
+				if cap.Type == caps.Frame {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("core %d missing the agreed Frame replica", c)
 			}
 		}
-		if !found {
-			t.Fatalf("core %d missing the agreed Frame replica", c)
-		}
-	}
+	})
 }
 
 func TestConflictingGlobalRetypeAborts(t *testing.T) {
-	e, s := boot(t, topo.AMD4x4())
-	var first, second bool
-	e.Spawn("init", func(p *sim.Proc) {
-		reg := s.Mem.Alloc(4096, 0)
-		first = s.GlobalRetype(p, 0, reg.Base, reg.Bytes, caps.PageTable, 1)
-		// Retyping the same memory as a writable Frame conflicts with the
-		// existing PageTable typing and must abort.
-		second = s.GlobalRetype(p, 5, reg.Base, reg.Bytes, caps.Frame, 0)
+	forEachEngine(t, topo.AMD4x4(), func(t *testing.T, ec engineCase) {
+		e, s := ec.e, ec.s
+		var first, second bool
+		e.Spawn("init", func(p *sim.Proc) {
+			reg := s.Mem.Alloc(4096, 0)
+			first = s.GlobalRetype(p, 0, reg.Base, reg.Bytes, caps.PageTable, 1)
+			// Retyping the same memory as a writable Frame conflicts with the
+			// existing PageTable typing and must abort.
+			second = s.GlobalRetype(p, 5, reg.Base, reg.Bytes, caps.Frame, 0)
+		})
+		ec.run()
+		if !first {
+			t.Fatal("first retype aborted")
+		}
+		if second {
+			t.Fatal("conflicting retype committed")
+		}
+		if err := s.CheckCapConsistency(); err != nil {
+			t.Fatal(err)
+		}
 	})
-	e.Run()
-	if !first {
-		t.Fatal("first retype aborted")
-	}
-	if second {
-		t.Fatal("conflicting retype committed")
-	}
-	if err := s.CheckCapConsistency(); err != nil {
-		t.Fatal(err)
-	}
 }
 
 func TestGlobalRevokeClearsReplicas(t *testing.T) {
-	e, s := boot(t, topo.AMD2x2())
-	var retyped, revoked, retyped2 bool
-	e.Spawn("init", func(p *sim.Proc) {
-		reg := s.Mem.Alloc(4096, 0)
-		retyped = s.GlobalRetype(p, 0, reg.Base, reg.Bytes, caps.PageTable, 1)
-		revoked = s.GlobalRevoke(p, 2, reg.Base, reg.Bytes)
-		// After revocation the memory can be retyped differently.
-		retyped2 = s.GlobalRetype(p, 1, reg.Base, reg.Bytes, caps.Frame, 0)
+	forEachEngine(t, topo.AMD2x2(), func(t *testing.T, ec engineCase) {
+		e, s := ec.e, ec.s
+		var retyped, revoked, retyped2 bool
+		e.Spawn("init", func(p *sim.Proc) {
+			reg := s.Mem.Alloc(4096, 0)
+			retyped = s.GlobalRetype(p, 0, reg.Base, reg.Bytes, caps.PageTable, 1)
+			revoked = s.GlobalRevoke(p, 2, reg.Base, reg.Bytes)
+			// After revocation the memory can be retyped differently.
+			retyped2 = s.GlobalRetype(p, 1, reg.Base, reg.Bytes, caps.Frame, 0)
+		})
+		ec.run()
+		if !retyped || !revoked || !retyped2 {
+			t.Fatalf("retyped=%v revoked=%v retyped2=%v", retyped, revoked, retyped2)
+		}
+		if err := s.CheckCapConsistency(); err != nil {
+			t.Fatal(err)
+		}
 	})
-	e.Run()
-	if !retyped || !revoked || !retyped2 {
-		t.Fatalf("retyped=%v revoked=%v retyped2=%v", retyped, revoked, retyped2)
-	}
-	if err := s.CheckCapConsistency(); err != nil {
-		t.Fatal(err)
-	}
 }
 
 func TestSpaceTagRoundTrip(t *testing.T) {
@@ -185,27 +189,29 @@ func TestUnmapLatencyBeatsBaselineAtScale(t *testing.T) {
 	// The Figure 7 headline: message-based unmap beats IPI-based unmap at
 	// high core counts. Full comparison lives in the expt package; here we
 	// just check the multikernel path completes in bounded time.
-	e, s := boot(t, topo.AMD8x4())
-	var lat sim.Time
-	e.Spawn("init", func(p *sim.Proc) {
-		cores := make([]topo.CoreID, 32)
-		for i := range cores {
-			cores[i] = topo.CoreID(i)
+	forEachEngine(t, topo.AMD8x4(), func(t *testing.T, ec engineCase) {
+		e, s := ec.e, ec.s
+		var lat sim.Time
+		e.Spawn("init", func(p *sim.Proc) {
+			cores := make([]topo.CoreID, 32)
+			for i := range cores {
+				cores[i] = topo.CoreID(i)
+			}
+			d, _ := s.NewDomain(p, "app", cores)
+			va, _ := d.MapAnon(p, 0, vm.PageSize, vm.Read|vm.Write)
+			for _, c := range cores {
+				d.Space.Access(p, c, va, false, 0)
+			}
+			start := p.Now()
+			if err := d.Unmap(p, 0, va, vm.PageSize, monitor.NUMAAware); err != nil {
+				t.Error(err)
+			}
+			lat = p.Now() - start
+		})
+		ec.run()
+		t.Logf("32-core unmap: %d cycles", lat)
+		if lat == 0 || lat > 120_000 {
+			t.Fatalf("32-core unmap latency %d out of plausible range", lat)
 		}
-		d, _ := s.NewDomain(p, "app", cores)
-		va, _ := d.MapAnon(p, 0, vm.PageSize, vm.Read|vm.Write)
-		for _, c := range cores {
-			d.Space.Access(p, c, va, false, 0)
-		}
-		start := p.Now()
-		if err := d.Unmap(p, 0, va, vm.PageSize, monitor.NUMAAware); err != nil {
-			t.Error(err)
-		}
-		lat = p.Now() - start
 	})
-	e.Run()
-	t.Logf("32-core unmap: %d cycles", lat)
-	if lat == 0 || lat > 120_000 {
-		t.Fatalf("32-core unmap latency %d out of plausible range", lat)
-	}
 }

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"multikernel/internal/interconnect"
+	"multikernel/internal/sim"
+	"multikernel/internal/topo"
+)
+
+// engineCase is one configuration of the dual-engine test sweep: the engine
+// procs spawn on, the booted system, and the run function that drives the
+// workload to completion (Engine.Run serially; ParallelEngine.Run through the
+// epoch loop under parallel boots).
+type engineCase struct {
+	e   *sim.Engine
+	s   *System
+	run func()
+}
+
+// forEachEngine runs a test body under the serial reference engine and under
+// BootParallel on a single-partition ParallelEngine at workers 1, 2 and 4.
+// A single partition keeps driver-style tests valid — one proc may touch any
+// core's state, exactly as under the serial engine — while still exercising
+// the parallel engine's epoch grid, barrier machinery and worker pool; the
+// sweep proves the outcome is worker-independent. Multi-partition behaviour,
+// where every proc must live in the replica owning its core, is covered by
+// parallel_test.go and the expt boot workloads.
+func forEachEngine(t *testing.T, m *topo.Machine, fn func(t *testing.T, ec engineCase)) {
+	t.Run("serial", func(t *testing.T) {
+		e := sim.NewEngine(1)
+		t.Cleanup(e.Close)
+		fn(t, engineCase{e: e, s: Boot(e, m), run: e.Run})
+	})
+	for _, w := range []int{1, 2, 4} {
+		w := w
+		t.Run(fmt.Sprintf("parallel_w%d", w), func(t *testing.T) {
+			pm := topo.Partition(m, 1)
+			pe := sim.NewParallelEngine(1, interconnect.Lookahead(m, pm), 1, w)
+			t.Cleanup(pe.Close)
+			ps := BootParallel(pe, m, Options{})
+			fn(t, engineCase{e: pe.Part(0), s: ps.Part(0), run: pe.Run})
+		})
+	}
+}

@@ -87,9 +87,13 @@ func TestFullSystemVMProperty(t *testing.T) {
 // The system composes: a domain's threads, the VM and a monitor-coordinated
 // protect interact correctly when the downgrade races with readers.
 func TestProtectWhileReading(t *testing.T) {
-	e := sim.NewEngine(1)
-	defer e.Close()
-	s := Boot(e, topo.AMD4x4())
+	forEachEngine(t, topo.AMD4x4(), func(t *testing.T, ec engineCase) {
+		e, s := ec.e, ec.s
+		testProtectWhileReading(t, e, s, ec.run)
+	})
+}
+
+func testProtectWhileReading(t *testing.T, e *sim.Engine, s *System, run func()) {
 	var failed string
 	e.Spawn("init", func(p *sim.Proc) {
 		cores := []topo.CoreID{0, 4, 8, 12}
@@ -127,7 +131,7 @@ func TestProtectWhileReading(t *testing.T) {
 			}
 		}
 	})
-	e.Run()
+	run()
 	if failed != "" {
 		t.Fatal(failed)
 	}

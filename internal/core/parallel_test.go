@@ -1,0 +1,183 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"multikernel/internal/interconnect"
+	"multikernel/internal/monitor"
+	"multikernel/internal/sim"
+	"multikernel/internal/topo"
+	"multikernel/internal/trace"
+)
+
+// shootdownRounds spawns a driver on core 0's replica running machine-wide
+// unmap agreement rounds — the heaviest cross-core protocol in the system,
+// touching every monitor through the URPC mesh.
+func shootdownRounds(e *sim.Engine, s *System, m *topo.Machine, rounds int) {
+	targets := make([]topo.CoreID, m.NumCores())
+	for c := range targets {
+		targets[c] = topo.CoreID(c)
+	}
+	e.Spawn("driver", func(p *sim.Proc) {
+		mon := s.Net.Monitor(0)
+		for i := 0; i < rounds; i++ {
+			if !mon.Unmap(p, 0x4000_0000, 4096, targets, monitor.NUMAAware) {
+				panic("unmap round failed")
+			}
+		}
+	})
+}
+
+// The serial-equivalence anchor: BootParallel on a single-partition engine is
+// the serial boot run through the parallel machinery (epoch grid, barriers,
+// worker pool), and must reproduce the serial reference byte-for-byte in
+// every observable — trace, metrics snapshot, engine checkpoint image — at
+// every worker count. This is the nparts=1 half of the determinism contract;
+// the workers-sweep identity at nparts=8 lives in expt.BootParallelBench.
+func TestParallelBootMatchesSerialAtOnePartition(t *testing.T) {
+	m := topo.AMD4x4()
+	const seed, rounds = 7, 3
+	// Both runs drain via RunUntil at the same virtual instant (far past the
+	// workload) so the serialized clocks agree: Run would leave the serial
+	// clock on the last event and the parallel clocks on an epoch boundary.
+	const alignT = sim.Time(1) << 40
+
+	run := func(e *sim.Engine, s *System, rec *trace.Recorder, drive func()) (events []trace.Event, metrics, img []byte) {
+		shootdownRounds(e, s, m, rounds)
+		drive()
+		mj, err := json.Marshal(e.Metrics().Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := e.Checkpoint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return rec.Events(), mj, buf.Bytes()
+	}
+
+	se := sim.NewEngine(seed)
+	srec := trace.NewRecorder()
+	se.SetTracer(srec)
+	ss := Boot(se, m)
+	wantEv, wantMet, wantImg := run(se, ss, srec, func() { se.RunUntil(alignT) })
+	se.Close()
+	if len(wantEv) == 0 {
+		t.Fatal("serial reference produced no trace events")
+	}
+
+	for _, w := range []int{1, 2, 4} {
+		pm := topo.Partition(m, 1)
+		pe := sim.NewParallelEngine(1, interconnect.Lookahead(m, pm), seed, w)
+		rec := trace.NewRecorder()
+		pe.Part(0).SetTracer(rec)
+		ps := BootParallel(pe, m, Options{})
+		gotEv, gotMet, gotImg := run(pe.Part(0), ps.Part(0), rec, func() { pe.RunUntil(alignT) })
+		if len(gotEv) != len(wantEv) {
+			t.Fatalf("w%d: %d trace events, serial reference has %d", w, len(gotEv), len(wantEv))
+		}
+		for i := range gotEv {
+			if gotEv[i] != wantEv[i] {
+				t.Fatalf("w%d: trace diverges at event %d: %+v vs serial %+v", w, i, gotEv[i], wantEv[i])
+			}
+		}
+		if !bytes.Equal(gotMet, wantMet) {
+			t.Fatalf("w%d: metrics snapshot diverges from serial reference", w)
+		}
+		if !bytes.Equal(gotImg, wantImg) {
+			t.Fatalf("w%d: checkpoint image diverges from serial reference", w)
+		}
+		pe.Close()
+	}
+}
+
+// Satellite: checkpoint/restore of a booted multi-partition system. An image
+// taken at an epoch barrier warm-starts at ANY worker count (workers are a
+// host-side knob, invisible to results), and the continuation must land on
+// the same final state as the uninterrupted run.
+func TestParallelCheckpointRestoreAcrossWorkerCounts(t *testing.T) {
+	m := topo.AMD8x4()
+	pm := topo.PerSocket(m)
+	la := interconnect.Lookahead(m, pm)
+	const seed = 7
+
+	// Continuous reference: boot, run 2 rounds, checkpoint at the quiescent
+	// barrier, run 3 more rounds, take the final image.
+	pe := sim.NewParallelEngine(pm.NParts(), la, seed, 2)
+	ps := BootParallel(pe, m, Options{})
+	shootdownRounds(pe.Part(0), ps.Part(0), m, 2)
+	pe.Run()
+	if dead := pe.Deadlocked(); len(dead) != 0 {
+		t.Fatalf("deadlocked: %v", dead)
+	}
+	var mid bytes.Buffer
+	if err := ps.Checkpoint(&mid); err != nil {
+		t.Fatal(err)
+	}
+	shootdownRounds(pe.Part(0), ps.Part(0), m, 3)
+	pe.Run()
+	var want bytes.Buffer
+	if err := ps.Checkpoint(&want); err != nil {
+		t.Fatal(err)
+	}
+	pe.Close()
+
+	for _, w := range []int{1, 2, 4} {
+		ps2, err := RestoreParallel(bytes.NewReader(mid.Bytes()), w, m, Options{})
+		if err != nil {
+			t.Fatalf("w%d: %v", w, err)
+		}
+		if ps2.PE.NParts() != pm.NParts() {
+			t.Fatalf("w%d: restored %d partitions, want %d", w, ps2.PE.NParts(), pm.NParts())
+		}
+		shootdownRounds(ps2.PE.Part(0), ps2.Part(0), m, 3)
+		ps2.PE.Run()
+		if dead := ps2.PE.Deadlocked(); len(dead) != 0 {
+			t.Fatalf("w%d: deadlocked after restore: %v", w, dead)
+		}
+		var got bytes.Buffer
+		if err := ps2.Checkpoint(&got); err != nil {
+			t.Fatalf("w%d: %v", w, err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("w%d: warm-started continuation diverged from the continuous run", w)
+		}
+		ps2.PE.Close()
+	}
+}
+
+func TestBootParallelRejectsExcessLookahead(t *testing.T) {
+	m := topo.AMD8x4()
+	pm := topo.PerSocket(m)
+	pe := sim.NewParallelEngine(pm.NParts(), interconnect.Lookahead(m, pm)+1, 7, 1)
+	defer pe.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BootParallel accepted a lookahead above the cross-partition minimum")
+		}
+	}()
+	BootParallel(pe, m, Options{})
+}
+
+func TestBootAutoSelectsEngine(t *testing.T) {
+	m := topo.AMD4x4()
+	ps, s := BootAuto(m, 1, Options{})
+	if ps != nil || s == nil {
+		t.Fatal("Workers=0 must boot the serial reference")
+	}
+	s.Eng.Close()
+
+	ps, s = BootAuto(m, 1, Options{Workers: 2})
+	if ps == nil || s != nil {
+		t.Fatal("Workers>0 must boot on the parallel engine")
+	}
+	if ps.PE.NParts() != m.NSockets {
+		t.Fatalf("BootAuto partitioned into %d parts, want one per socket (%d)", ps.PE.NParts(), m.NSockets)
+	}
+	if ps.PE.Workers() != 2 {
+		t.Fatalf("worker budget %d, want 2", ps.PE.Workers())
+	}
+	ps.PE.Close()
+}

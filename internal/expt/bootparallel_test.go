@@ -1,0 +1,27 @@
+package expt
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkBootParallelPinned is the parallel-boot determinism gate consumed
+// by ci/traceguard: the staged shootdown workload on the full 8-socket
+// multikernel boot, replayed at workers 1, 2 and 4. The simevents/op metric
+// is fully deterministic — a pure function of (seed, nparts), never of the
+// worker count — so all three entries are pinned exactly in the committed
+// baseline and must stay equal to each other; one event of divergence from
+// the serial schedule fails CI.
+func BenchmarkBootParallelPinned(b *testing.B) {
+	wl := bootWorkloads()[0] // shootdown, staged RunUntil/Stop schedule
+	const scale = 4
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			var ev uint64
+			for i := 0; i < b.N; i++ {
+				ev = bootRunOnce(wl, scale, w).nevents
+			}
+			b.ReportMetric(float64(ev), "simevents/op")
+		})
+	}
+}

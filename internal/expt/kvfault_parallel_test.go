@@ -1,0 +1,22 @@
+package expt
+
+import "testing"
+
+// The kvfault fault matrix — seeded fail-stops, deadline detection,
+// promotion, anti-entropy recruitment, admission-control sheds — must report
+// identical figures whether the run is driven by the serial reference engine
+// (workers=0) or the parallel engine at any worker budget. kvfaultResult is a
+// plain struct of numbers, so == is the whole comparison.
+func TestKVFaultParallelEngineIdentity(t *testing.T) {
+	for _, kills := range []int{1, 2} {
+		ref := kvfaultPoint(7, kills, 0)
+		if ref.promotions == 0 {
+			t.Fatalf("kills=%d: reference run saw no promotions; fault matrix not exercised", kills)
+		}
+		for _, w := range []int{1, 2, 4} {
+			if got := kvfaultPoint(7, kills, w); got != ref {
+				t.Errorf("kills=%d workers=%d: %+v diverges from serial %+v", kills, w, got, ref)
+			}
+		}
+	}
+}

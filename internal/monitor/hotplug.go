@@ -86,7 +86,9 @@ func (n *Network) PowerOn(p *sim.Proc, initiator, victim topo.CoreID) error {
 	n.Kern.Core(initiator).SendIPI(p, victim, 0)
 	vm.down = false
 	vm.view[victim] = true
-	n.Eng.Wake(vm.proc)
+	if vm.proc != nil { // nil under a parallel boot when victim is remote
+		n.Eng.Wake(vm.proc)
+	}
 	op := Op{Kind: OpCoreUp, ID: mon.nextOpID(), Origin: initiator, Bytes: uint64(victim)}
 	mon.finishCall(p, mon.submit(p, &localReq{op: op, protocol: NUMAAware}))
 	return nil

@@ -244,6 +244,20 @@ func NewNetwork(e *sim.Engine, sys *cache.System, kern *kernel.System, kb *skb.K
 			ch := urpc.New(sys, ca, cb, urpc.Options{Slots: monitorSlots, Home: int(kb.AllocAdvice(cb))})
 			n.monitors[a].out[cb] = ch
 			n.monitors[b].in[ca] = ch
+			if sys.LocalCore(cb) && !sys.LocalCore(ca) {
+				// Parallel boot: the sender's replica cannot unpark this
+				// monitor (its proc lives here), so the delivered ring line
+				// doubles as the IPI — the cross-partition analogue of
+				// Network.wake, with the same notification cost.
+				t := n.monitors[b]
+				ipi := m.Costs.IPIDeliver
+				ch.OnRemoteDeliver = func() {
+					if t.parked {
+						t.stats.Wakeups++
+						e.After(ipi, func() { e.Wake(t.proc) })
+					}
+				}
+			}
 		}
 	}
 	for _, mon := range n.monitors {
@@ -255,6 +269,12 @@ func NewNetwork(e *sim.Engine, sys *cache.System, kern *kernel.System, kb *skb.K
 			if _, ok := mon.in[topo.CoreID(c)]; ok {
 				mon.peers = append(mon.peers, topo.CoreID(c))
 			}
+		}
+		if !sys.LocalCore(mon.Core) {
+			// Parallel boot: a remote core's monitor exists as structure (its
+			// channels are the local ends of the mesh) but never runs here —
+			// its dispatch loop runs in its own partition's replica.
+			continue
 		}
 		mon := mon
 		mon.proc = e.Spawn(fmt.Sprintf("monitor%d", mon.Core), mon.run)

@@ -83,10 +83,15 @@ func NewBulk(sys *cache.System, sender, receiver topo.CoreID, opts BulkOptions) 
 	// The descriptor ack is the pool-slot reuse grant: defer it until the
 	// payload has been read out (see read).
 	desc.holdAck = true
+	pool := sys.Memory().AllocLines(slots*slotLines, home)
+	// Parallel boot: pool lines mirror sender→receiver like ring lines (no
+	// doorbell — the descriptor ring carries the arrival notification, and
+	// outbox ordering guarantees the payload lands before its descriptor).
+	sys.ShareRegion(pool, sender, receiver, nil)
 	return &BulkChannel{
 		sys:       sys,
 		desc:      desc,
-		pool:      sys.Memory().AllocLines(slots*slotLines, home),
+		pool:      pool,
 		slots:     slots,
 		slotLines: slotLines,
 		prefetch:  opts.Prefetch,
@@ -137,6 +142,9 @@ func (b *BulkChannel) Send(p *sim.Proc, payload []byte) {
 		lines++
 	}
 	b.sys.Memory().StoreBytes(base, payload)
+	// StoreBytes bypasses the per-store mirror hook; forward the payload
+	// bytes explicitly when the pool spans partitions (no-op otherwise).
+	b.sys.MirrorBytes(base, payload)
 	b.desc.Send(p, Message{b.seq, uint64(len(payload))})
 	b.seq++
 	b.mXfers.Inc()

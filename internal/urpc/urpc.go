@@ -80,6 +80,14 @@ type Channel struct {
 	mut     Mutation  // deliberate protocol defect for checker self-tests
 	stats   Stats
 
+	// OnRemoteDeliver, when set on the receiver's replica of a channel whose
+	// endpoints live in different ParallelEngine partitions, runs after each
+	// cross-partition ring-line delivery — the hook services (kv, monitors)
+	// use to wake their dispatch proc, standing in for the sender-side
+	// eng.Wake they would have issued under a single engine. Never invoked on
+	// a serial engine or an intra-partition channel.
+	OnRemoteDeliver func()
+
 	// id is the channel's engine-unique serial; flow-event ids are
 	// id<<32|seq, linking a send on the sender core to its receive on the
 	// receiver core in exported traces.
@@ -160,7 +168,33 @@ func New(sys *cache.System, sender, receiver topo.CoreID, opts Options) *Channel
 	// A one-time geometry record: the transport checker needs each channel's
 	// ring size to verify that no slot is reused before its ack.
 	eng.Tracer().Emit(uint64(eng.Now()), trace.Instant, trace.SubURPC, int32(sender), "urpc.chan", c.id<<32, uint64(slots))
+	// Parallel boot: when sender and receiver live in different partitions,
+	// the ring mirrors forward (writer: sender) and the ack line mirrors back
+	// (writer: receiver). Both calls are no-ops on a serial engine or when
+	// the endpoints share a partition. The construction runs identically in
+	// every replica, so region registration order — the cross-replica
+	// addressing scheme — lines up by construction.
+	sys.ShareRegion(c.ring, sender, receiver, c.remoteArrival)
+	sys.ShareRegion(c.ack, receiver, sender, nil)
 	return c
+}
+
+// remoteArrival runs in the receiver's replica after a cross-partition ring
+// line lands. It plays the sender's half of the poll-then-block protocol:
+// a parked receiver gets the IPI-modeled wakeup notify would have sent, and
+// the service-level hook (if any) runs so dispatch loops parked outside the
+// channel learn about the arrival.
+func (c *Channel) remoteArrival() {
+	if c.OnRemoteDeliver != nil {
+		c.OnRemoteDeliver()
+	}
+	if w := c.blocked; w != nil && c.Pending() {
+		c.blocked = nil
+		c.stats.Notifies++
+		c.mNotifies.Inc()
+		eng := c.eng
+		eng.After(c.sys.Machine().Costs.IPIDeliver, func() { eng.Wake(w) })
+	}
 }
 
 // Pair creates the two directions of a bidirectional link between a and b.
