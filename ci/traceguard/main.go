@@ -30,6 +30,13 @@
 //     entries are pinned exactly and must match across worker counts — the
 //     booted-system analogue of the engine-level gate above.
 //
+//   - The scaled-coherence determinism contract: the pinned contended
+//     workload (-bench=DirectoryPinned in internal/expt) replays the
+//     256-core mesh under broadcast-snoop and directory coherence. Both
+//     simevents/op entries are pinned exactly, so a cost-model change in
+//     either mode — or any drift in the scaled machines' schedules — fails
+//     CI.
+//
 //   - The observability-plane cost contract: the pinned obs workload
 //     (-bench=ObsPinned in internal/obs) runs the same cross-socket URPC
 //     exchange with no plane, a disabled plane and a live sampling plane.
@@ -175,7 +182,7 @@ func runSimBenchmarks() (map[string]float64, error) {
 	for _, run := range []struct{ bench, pkg string }{
 		{"URPCPipelined|BulkTransfer", "./internal/urpc/"},
 		{"ParallelEnginePinned", "./internal/sim/"},
-		{"BootParallelPinned", "./internal/expt/"},
+		{"BootParallelPinned|DirectoryPinned", "./internal/expt/"},
 		{"ObsPinned", "./internal/obs/"},
 	} {
 		cmd := exec.Command("go", "test", "-run=NONE",

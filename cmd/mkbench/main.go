@@ -9,8 +9,8 @@
 //	        [-fault-seed N] [experiment ...]
 //
 // Experiments: fig3 tab1 tab2 tab3 fig6 fig7 fig8 tab4 fig9 sec54 poll
-// ablations extensions faults kvfault obs urpcv2 sim boot, or "all" (the
-// default).
+// ablations extensions faults kvfault obs coherence urpcv2 sim boot, or
+// "all" (the default).
 //
 // The obs experiment re-runs the kvcluster fail-over scenario with the
 // distributed observability plane (internal/obs) at a sweep of sampling
@@ -18,6 +18,14 @@
 // (must match absent exactly) and live, the plane's message volume per
 // committed window, exact counter fidelity, and the health monitor's
 // kill-to-degraded-event latency against its documented bound.
+//
+// The coherence experiment measures the paper's §2.1 scalability argument
+// on the scaled machine models: a read-mostly publishing workload swept
+// across 16–1024-core meshes under broadcast-snoop and directory coherence,
+// reporting mean RMW cycles, mean probe fan-out per mode (the directory's
+// is bounded by the true sharer count, broadcast's by the socket count) and
+// the core count where directory overtakes broadcast, with torus rows
+// showing the diameter ablation at the largest sizes.
 //
 // The urpcv2 experiment sweeps the v2 transport: pipelined throughput
 // against sender in-flight depth 1→16, the ring-vs-bulk crossover for
@@ -167,6 +175,7 @@ func main() {
 	simScale := 4000
 	simPoints := 8
 	bootScale := 24
+	cohIncs, cohMaxCores := 6, 1024
 	if *quick {
 		iters = 3
 		webWindow = 10_000_000
@@ -175,6 +184,7 @@ func main() {
 		simScale = 600
 		simPoints = 4
 		bootScale = 6
+		cohIncs, cohMaxCores = 3, 256
 	}
 
 	pw, ph := 0, 0
@@ -255,6 +265,19 @@ func main() {
 			headline["obs.windows"] = float64(res.Windows)
 			headline["obs.msgs_per_window"] = round3(res.MsgsPerWindow)
 			headline["obs.store_hash32"] = float64(res.StoreHash)
+		}},
+		{"coherence", func() {
+			res := expt.Coherence(cohIncs, cohMaxCores)
+			showFig("coherence", res.Fig)
+			showTab(res.Tab)
+			headline["coherence.crossover_cores"] = float64(res.Crossover)
+			headline["coherence.broadcast_cycles"] = round3(res.BcastCycles)
+			headline["coherence.directory_cycles"] = round3(res.DirCycles)
+			headline["coherence.fanout_broadcast"] = round3(res.FanoutBcast)
+			headline["coherence.fanout_directory"] = round3(res.FanoutDir)
+			headline["coherence.sharer_bound"] = res.SharerBound
+			headline["coherence.torus_gain"] = round3(res.TorusGain)
+			headline["coherence.sums_ok"] = b2f(res.SumsOK)
 		}},
 		{"urpcv2", func() {
 			showFig("urpcv2-depth", expt.URPCv2Depth(30*iters))

@@ -8,9 +8,13 @@
 //
 // Usage:
 //
-//	mkcheck [-seeds N] [-seed-base B] [-depth D] [-jitter J] [-faults]
+//	mkcheck [-seeds N] [-seed-base B] [-depth D] [-jitter J] [-faults] [-directory]
 //	        [-workloads kv,kvfailover,urpc,monitor] [-parallel N] [-no-shrink] [-v]
-//	mkcheck -workloads W -replay SCRIPT -seed-base SEED [-faults]
+//	mkcheck -workloads W -replay SCRIPT -seed-base SEED [-faults] [-directory]
+//
+// With -directory every run uses the directory coherence protocol instead of
+// broadcast; the MOESI oracle then additionally cross-checks the home-node
+// sharer bitmaps against its shadow directory.
 //
 // On failure, mkcheck shrinks the first failing run's perturbation list by
 // delta debugging to a 1-minimal script and prints a ready-to-paste -replay
@@ -33,16 +37,17 @@ import (
 
 func main() {
 	var (
-		seeds    = flag.Int("seeds", 20, "number of seeds per workload")
-		seedBase = flag.Uint64("seed-base", 1, "first seed (or the seed for -replay)")
-		depth    = flag.Int("depth", 64, "max perturbations per run")
-		jitter   = flag.Uint64("jitter", uint64(check.DefaultMaxJitter), "max wake jitter in cycles")
-		faults   = flag.Bool("faults", false, "arm a seeded fault schedule per run")
-		wls      = flag.String("workloads", strings.Join(check.WorkloadNames(), ","), "comma-separated workloads")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker threads")
-		noShrink = flag.Bool("no-shrink", false, "skip minimizing failing runs")
-		replay   = flag.String("replay", "", "replay one perturbation script (\"none\" or N:jitter:pri,...)")
-		verbose  = flag.Bool("v", false, "print every run, not just failures")
+		seeds     = flag.Int("seeds", 20, "number of seeds per workload")
+		seedBase  = flag.Uint64("seed-base", 1, "first seed (or the seed for -replay)")
+		depth     = flag.Int("depth", 64, "max perturbations per run")
+		jitter    = flag.Uint64("jitter", uint64(check.DefaultMaxJitter), "max wake jitter in cycles")
+		faults    = flag.Bool("faults", false, "arm a seeded fault schedule per run")
+		directory = flag.Bool("directory", false, "run under directory coherence instead of broadcast")
+		wls       = flag.String("workloads", strings.Join(check.WorkloadNames(), ","), "comma-separated workloads")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker threads")
+		noShrink  = flag.Bool("no-shrink", false, "skip minimizing failing runs")
+		replay    = flag.String("replay", "", "replay one perturbation script (\"none\" or N:jitter:pri,...)")
+		verbose   = flag.Bool("v", false, "print every run, not just failures")
 	)
 	flag.Parse()
 	harness.SetParallelism(*parallel)
@@ -64,7 +69,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mkcheck: -replay needs exactly one -workloads entry")
 			os.Exit(2)
 		}
-		r := check.RunOne(check.RunConfig{Workload: names[0], Seed: *seedBase, Script: script, Faults: *faults})
+		r := check.RunOne(check.RunConfig{Workload: names[0], Seed: *seedBase, Script: script, Faults: *faults, Directory: *directory})
 		report(r, *verbose)
 		if r.Failed() {
 			os.Exit(1)
@@ -84,6 +89,7 @@ func main() {
 		Depth:     *depth,
 		MaxJitter: sim.Time(*jitter),
 		Faults:    *faults,
+		Directory: *directory,
 	})
 
 	failed := 0
@@ -104,12 +110,12 @@ func main() {
 	if firstFail != nil {
 		if !*noShrink {
 			cfg := check.RunConfig{Workload: firstFail.Workload, Seed: firstFail.Seed,
-				Depth: *depth, MaxJitter: sim.Time(*jitter), Faults: *faults}
+				Depth: *depth, MaxJitter: sim.Time(*jitter), Faults: *faults, Directory: *directory}
 			min := check.Shrink(cfg, firstFail.Applied)
 			fmt.Printf("shrunk %s seed %d from %d to %d perturbations\n",
 				firstFail.Workload, firstFail.Seed, len(firstFail.Applied), len(min))
 			fmt.Printf("reproduce with:\n  mkcheck -workloads %s -seed-base %d -replay %s%s\n",
-				firstFail.Workload, firstFail.Seed, check.FormatScript(min), faultFlag(*faults))
+				firstFail.Workload, firstFail.Seed, check.FormatScript(min), faultFlag(*faults)+dirFlag(*directory))
 		}
 		os.Exit(1)
 	}
@@ -133,6 +139,13 @@ func report(r check.Result, verbose bool) {
 func faultFlag(on bool) string {
 	if on {
 		return " -faults"
+	}
+	return ""
+}
+
+func dirFlag(on bool) string {
+	if on {
+		return " -directory"
 	}
 	return ""
 }

@@ -15,7 +15,6 @@ package cache
 
 import (
 	"fmt"
-	"math/bits"
 
 	"multikernel/internal/interconnect"
 	"multikernel/internal/memory"
@@ -25,8 +24,31 @@ import (
 	"multikernel/internal/trace"
 )
 
-// maxCores bounds the holder bitmask width.
-const maxCores = 64
+// CoherenceMode selects how write upgrades and fills locate and invalidate
+// remote copies.
+type CoherenceMode uint8
+
+const (
+	// Broadcast snoops every socket on each coherence transaction — the
+	// HyperTransport behaviour of the paper machines. On machines with a
+	// nonzero SnoopPerSocket cost the probe fan-out and latency grow with the
+	// socket count regardless of how many copies actually exist.
+	Broadcast CoherenceMode = iota
+	// Directory consults the line's home-node sharer bitmap and probes only
+	// the actual holders, paying a flat DirLookup indirection instead — the
+	// protocol that keeps scaling when broadcast collapses (§2.1).
+	Directory
+)
+
+func (m CoherenceMode) String() string {
+	switch m {
+	case Broadcast:
+		return "broadcast"
+	case Directory:
+		return "directory"
+	}
+	return "?"
+}
 
 // State is a MOESI line state as seen by one cache.
 type State uint8
@@ -58,7 +80,7 @@ func (s State) String() string {
 
 // line is the global directory entry for one cache line.
 type line struct {
-	holders uint64      // bitmask of cores with a valid copy
+	holders CoreSet     // cores with a valid copy
 	owner   topo.CoreID // core in M/O/E state, or -1
 	dirty   bool        // owner holds M or O (memory stale)
 	// xferStore marks the current/most recent occupancy of res as an
@@ -74,13 +96,13 @@ type line struct {
 // whose request was already queued when the writer's transfer completed.
 const forwardLat = 90
 
-func (l *line) holds(c topo.CoreID) bool { return l.holders&(1<<uint(c)) != 0 }
+func (l *line) holds(c topo.CoreID) bool { return l.holders.Has(c) }
 
 func (l *line) view() LineView { return LineView{Holders: l.holders, Owner: l.owner, Dirty: l.dirty} }
 
 // LineView is an audit-time snapshot of one line's directory entry.
 type LineView struct {
-	Holders uint64      // bitmask of cores with a valid copy
+	Holders CoreSet     // cores with a valid copy
 	Owner   topo.CoreID // core in M/O/E state, or -1
 	Dirty   bool        // memory is stale; the owner holds the only current data
 }
@@ -195,6 +217,9 @@ type System struct {
 	// audit, when non-nil, observes every directory transition (SetAudit).
 	audit Audit
 
+	// mode selects broadcast snooping (default) or directory coherence.
+	mode CoherenceMode
+
 	// part, when non-nil, marks this system as one partition's replica of a
 	// parallel-booted machine (see partition.go). Serial systems pay one nil
 	// check per store for it.
@@ -256,6 +281,24 @@ func (s *System) Engine() *sim.Engine { return s.eng }
 
 // SetAudit installs (or, with nil, removes) a coherence-transition audit.
 func (s *System) SetAudit(a Audit) { s.audit = a }
+
+// SetMode selects the coherence mode. Call before any cache activity: the
+// directory content is mode-independent, but switching mid-run would change
+// latencies and traffic accounting mid-stream.
+func (s *System) SetMode(m CoherenceMode) { s.mode = m }
+
+// Mode returns the active coherence mode.
+func (s *System) Mode() CoherenceMode { return s.mode }
+
+// HomeSharers returns the home-node directory's sharer set for a line — the
+// bitmap directory mode probes from, maintained identically under broadcast.
+// The zero set when the line has never been cached.
+func (s *System) HomeSharers(id memory.LineID) CoreSet {
+	if l := s.lines[id]; l != nil {
+		return l.holders
+	}
+	return CoreSet{}
+}
 
 // ForEachLine visits every directory entry. Iteration order is unspecified
 // (it walks the line map); intended for post-run invariant sweeps, never for
@@ -370,14 +413,14 @@ func (s *System) StateOf(c topo.CoreID, a memory.Addr) State {
 		return Invalid
 	}
 	if l.owner == c {
-		others := l.holders &^ (1 << uint(c))
+		alone := !l.holders.HasOther(c)
 		if l.dirty {
-			if others == 0 {
+			if alone {
 				return Modified
 			}
 			return Owned
 		}
-		if others == 0 {
+		if alone {
 			return Exclusive
 		}
 		return Shared
@@ -386,14 +429,36 @@ func (s *System) StateOf(c topo.CoreID, a memory.Addr) State {
 }
 
 // chargeFill accounts fabric traffic for a line fill from src (core or
-// memory home socket) to dst core.
+// memory home socket) to dst core. Under a broadcast-snoop cost model the
+// request probes every socket; under directory (and on the paper machines,
+// whose RemoteBase folds the broadcast in without separate traffic) it is a
+// targeted request. The data response is always a unicast.
 func (s *System) chargeFill(dst topo.CoreID, srcSocket topo.SocketID) {
 	d := s.mach.Socket(dst)
 	if d == srcSocket {
 		return
 	}
-	s.fab.Charge(d, srcSocket, interconnect.DwordsProbe)
+	if s.mode == Broadcast && s.mach.Costs.SnoopPerSocket > 0 {
+		s.fab.ChargeBroadcast(d, interconnect.DwordsProbe)
+	} else {
+		s.fab.Charge(d, srcSocket, interconnect.DwordsProbe)
+	}
 	s.fab.Charge(srcSocket, d, interconnect.DwordsData)
+}
+
+// modeExtra is the coherence-mode surcharge of one transaction that leaves
+// the requester's socket: the serialized broadcast snoop of every remote
+// socket, or the home directory's lookup/indirection. Zero on the paper
+// machines (SnoopPerSocket there is folded into RemoteBase, and broadcast is
+// the hardware's only mode).
+func (s *System) modeExtra(c topo.CoreID, srcSocket topo.SocketID) sim.Time {
+	if s.mach.Socket(c) == srcSocket {
+		return 0
+	}
+	if s.mode == Directory {
+		return s.mach.Costs.DirLookup
+	}
+	return s.mach.Costs.SnoopPerSocket * sim.Time(s.mach.NSockets-1)
 }
 
 // fill obtains a readable copy of the line for core c, returning the fill
@@ -415,28 +480,28 @@ func (s *System) fill(c topo.CoreID, a memory.Addr, l *line) sim.Time {
 		// HyperTransport-style fabric the request is routed via the line's
 		// home node, so distance to the home adds latency — the effect
 		// NUMA-aware buffer placement exploits (§5.1).
-		lat = s.mach.TransferLat(c, l.owner) + s.homePenalty(c, a)
+		lat = s.mach.TransferLat(c, l.owner) + s.homePenalty(c, a) + s.modeExtra(c, s.mach.Socket(l.owner))
 		lat += s.coreStall(l.owner) + s.linkPenalty(c, s.mach.Socket(l.owner), lat)
 		if !s.mach.SameSocket(c, l.owner) {
 			s.stats[c].RemoteMisses++
 		}
 		s.chargeFill(c, s.mach.Socket(l.owner))
-	} else if l.holders != 0 && !l.holds(c) {
+	} else if !l.holders.Empty() && !l.holds(c) {
 		// Shared copies exist but no owner: memory is current.
 		src = "cache.fill_shared"
 		reason = AuditFillShared
 		home := s.mem.Home(a)
-		lat = s.mach.MemLat(c, home)
+		lat = s.mach.MemLat(c, home) + s.modeExtra(c, home)
 		lat += s.linkPenalty(c, home, lat)
 		s.stats[c].RemoteMisses++
 		s.chargeFill(c, home)
 	} else {
 		home := s.mem.Home(a)
-		lat = s.mach.MemLat(c, home)
+		lat = s.mach.MemLat(c, home) + s.modeExtra(c, home)
 		lat += s.linkPenalty(c, home, lat)
 		s.chargeFill(c, home)
 	}
-	l.holders |= 1 << uint(c)
+	l.holders.Add(c)
 	if l.owner < 0 {
 		// First holder becomes owner (E); an existing dirty owner keeps
 		// ownership (now O with sharers).
@@ -462,11 +527,16 @@ func (s *System) homePenalty(c topo.CoreID, a memory.Addr) sim.Time {
 }
 
 // invalidateOthers removes all copies except core c's, returning the probe
-// latency (to the furthest current holder) plus home routing.
+// latency (to the furthest current holder) plus home routing. Under a
+// broadcast-snoop cost model the upgrade probes every remote socket whether
+// or not it holds a copy — the observed fan-out is NSockets-1 and the probe
+// pays a per-socket serialization — while directory mode looks the sharer
+// set up at the home node (flat DirLookup) and probes only actual holders,
+// which is what makes cache.probe_fanout a real signal there.
 func (s *System) invalidateOthers(c topo.CoreID, a memory.Addr, l *line) sim.Time {
-	var lat sim.Time
-	others := l.holders &^ (1 << uint(c))
-	if others == 0 {
+	others := l.holders
+	others.Del(c)
+	if others.Empty() {
 		return 0
 	}
 	s.stats[c].Upgrades++
@@ -474,28 +544,40 @@ func (s *System) invalidateOthers(c topo.CoreID, a memory.Addr, l *line) sim.Tim
 	if s.audit != nil {
 		before = l.view()
 	}
-	fanout := uint64(bits.OnesCount64(others))
+	bcastSnoop := s.mode == Broadcast && s.mach.Costs.SnoopPerSocket > 0
+	fanout := uint64(others.Count())
+	if bcastSnoop {
+		fanout = uint64(s.mach.NSockets - 1)
+	}
 	s.fanoutHist.Observe(fanout)
 	s.eng.Tracer().Emit(uint64(s.eng.Now()), trace.Instant, trace.SubCache, int32(c), "cache.inval", 0, fanout)
-	for h := topo.CoreID(0); int(h) < s.mach.NumCores(); h++ {
-		if others&(1<<uint(h)) == 0 {
-			continue
-		}
+	cs := s.mach.Socket(c)
+	var lat sim.Time
+	if bcastSnoop {
+		s.fab.ChargeBroadcast(cs, interconnect.DwordsProbe)
+		lat += s.mach.Costs.SnoopPerSocket * sim.Time(s.mach.NSockets-1)
+	} else if s.mode == Directory {
+		lat += s.mach.Costs.DirLookup
+	}
+	var probe sim.Time
+	others.ForEach(func(h topo.CoreID) {
 		s.stats[h].Invalidated++
 		t := s.mach.TransferLat(c, h)
 		// A stalled or link-degraded holder delays its probe response, and
 		// the upgrade cannot complete until the slowest holder has answered.
 		t += s.coreStall(h) + s.linkPenalty(c, s.mach.Socket(h), t)
-		if t > lat {
-			lat = t
+		if t > probe {
+			probe = t
 		}
-		hs, cs := s.mach.Socket(h), s.mach.Socket(c)
-		if hs != cs {
-			s.fab.Charge(cs, hs, interconnect.DwordsProbe)
+		if hs := s.mach.Socket(h); hs != cs {
+			if !bcastSnoop {
+				s.fab.Charge(cs, hs, interconnect.DwordsProbe)
+			}
 			s.fab.Charge(hs, cs, interconnect.DwordsAck)
 		}
-	}
-	l.holders = 1 << uint(c)
+	})
+	lat += probe
+	l.holders = OnlyCore(c)
 	l.owner = c
 	if s.audit != nil {
 		s.audit.Transition(a.Line(), AuditUpgrade, c, before, l.view(), int(fanout))
@@ -570,7 +652,7 @@ func (s *System) Load(p *sim.Proc, c topo.CoreID, a memory.Addr) uint64 {
 // (paper Figures 3 and 6).
 func (s *System) Store(p *sim.Proc, c topo.CoreID, a memory.Addr, v uint64) {
 	l := s.lineFor(a)
-	if l.holds(c) && l.owner == c && l.holders == 1<<uint(c) && l.res.QueueLen() == 0 {
+	if l.holds(c) && l.owner == c && l.holders.Only(c) && l.res.QueueLen() == 0 {
 		// Exclusive or Modified with no rival request queued: silent upgrade.
 		// If another core's ownership request is already waiting, the line
 		// is about to be taken away, so the store must join the queue like
@@ -733,7 +815,7 @@ func (s *System) Flush(p *sim.Proc, c topo.CoreID, a memory.Addr) {
 		before = l.view()
 	}
 	writeback := false
-	l.holders &^= 1 << uint(c)
+	l.holders.Del(c)
 	if l.owner == c {
 		l.owner = -1
 		if l.dirty {
@@ -768,12 +850,10 @@ func (s *System) DMAWrite(a memory.Addr, b []byte, devSocket topo.SocketID) {
 			if s.audit != nil {
 				before = l.view()
 			}
-			for h := topo.CoreID(0); int(h) < s.mach.NumCores(); h++ {
-				if l.holds(h) {
-					s.stats[h].Invalidated++
-				}
-			}
-			l.holders = 0
+			l.holders.ForEach(func(h topo.CoreID) {
+				s.stats[h].Invalidated++
+			})
+			l.holders = CoreSet{}
 			l.owner = -1
 			l.dirty = false
 			if s.audit != nil {

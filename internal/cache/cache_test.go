@@ -304,7 +304,7 @@ func TestTooManyCoresPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	m := topo.Mesh(10, 10, 1)
+	m := topo.MeshXY(33, 33, 1)
 	New(sim.NewEngine(1), m, memory.New(m), interconnect.New(m))
 }
 

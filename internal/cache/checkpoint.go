@@ -51,7 +51,13 @@ func (s *System) CheckpointState(w io.Writer) error {
 		if l.xferStore {
 			flags |= clXferStore
 		}
-		if err := ckpt.WriteU64(w, uint64(id), l.holders, uint64(int64(l.owner)), flags); err != nil {
+		if err := ckpt.WriteU64(w, uint64(id)); err != nil {
+			return err
+		}
+		if err := ckpt.WriteU64(w, l.holders[:]...); err != nil {
+			return err
+		}
+		if err := ckpt.WriteU64(w, uint64(int64(l.owner)), flags); err != nil {
 			return err
 		}
 	}
@@ -82,7 +88,10 @@ func (s *System) CheckpointState(w io.Writer) error {
 	for i, t := range s.stallUntil {
 		stall[i] = uint64(t)
 	}
-	return ckpt.WriteU64Slice(w, stall)
+	if err := ckpt.WriteU64Slice(w, stall); err != nil {
+		return err
+	}
+	return ckpt.WriteU64(w, uint64(s.mode))
 }
 
 // RestoreState replaces the directory and per-core state with an image.
@@ -93,8 +102,18 @@ func (s *System) RestoreState(r io.Reader) error {
 	}
 	lines := make(map[memory.LineID]*line, nlines)
 	for i := uint64(0); i < nlines; i++ {
-		var id, holders, owner, flags uint64
-		if err := ckpt.ReadU64(r, &id, &holders, &owner, &flags); err != nil {
+		var id uint64
+		if err := ckpt.ReadU64(r, &id); err != nil {
+			return err
+		}
+		var holders CoreSet
+		for j := range holders {
+			if err := ckpt.ReadU64(r, &holders[j]); err != nil {
+				return err
+			}
+		}
+		var owner, flags uint64
+		if err := ckpt.ReadU64(r, &owner, &flags); err != nil {
 			return err
 		}
 		lines[memory.LineID(id)] = &line{
@@ -137,8 +156,16 @@ func (s *System) RestoreState(r io.Reader) error {
 	if err != nil {
 		return err
 	}
+	var mode uint64
+	if err := ckpt.ReadU64(r, &mode); err != nil {
+		return err
+	}
+	if mode > uint64(Directory) {
+		return fmt.Errorf("cache: image has unknown coherence mode %d", mode)
+	}
 
 	s.lines = lines
+	s.mode = CoherenceMode(mode)
 	for i, v := range dirFree {
 		s.dirFree[i] = sim.Time(v)
 	}

@@ -1,0 +1,99 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"multikernel/internal/topo"
+)
+
+// maxCores bounds the holder-set width: a 16×16-socket mesh of quad-core
+// sockets (topo.Mesh(16)).
+const maxCores = 1024
+
+// coreWords is the number of 64-bit words in a CoreSet.
+const coreWords = maxCores / 64
+
+// CoreSet is a fixed-width bitmask of cores — the directory's sharer set for
+// one line. It is a comparable value type (plain array), so views snapshot by
+// assignment and equality is ==.
+type CoreSet [coreWords]uint64
+
+// OnlyCore returns the set containing exactly core c.
+func OnlyCore(c topo.CoreID) CoreSet {
+	var s CoreSet
+	s.Add(c)
+	return s
+}
+
+// Has reports whether c is in the set.
+func (s *CoreSet) Has(c topo.CoreID) bool {
+	return s[uint(c)/64]&(1<<(uint(c)%64)) != 0
+}
+
+// Add inserts c.
+func (s *CoreSet) Add(c topo.CoreID) { s[uint(c)/64] |= 1 << (uint(c) % 64) }
+
+// Del removes c.
+func (s *CoreSet) Del(c topo.CoreID) { s[uint(c)/64] &^= 1 << (uint(c) % 64) }
+
+// Empty reports whether the set has no members.
+func (s *CoreSet) Empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of members.
+func (s *CoreSet) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Only reports whether the set is exactly {c}.
+func (s *CoreSet) Only(c topo.CoreID) bool { return *s == OnlyCore(c) }
+
+// HasOther reports whether any core besides c is a member.
+func (s *CoreSet) HasOther(c topo.CoreID) bool {
+	o := *s
+	o.Del(c)
+	return !o.Empty()
+}
+
+// ForEach calls fn for every member in ascending core order.
+func (s *CoreSet) ForEach(fn func(topo.CoreID)) {
+	for i, w := range s {
+		base := i * 64
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(topo.CoreID(base + b))
+			w &= w - 1
+		}
+	}
+}
+
+// String renders the set as the hex of its non-zero span, for diagnostics.
+func (s CoreSet) String() string {
+	hi := 0
+	for i, w := range s {
+		if w != 0 {
+			hi = i
+		}
+	}
+	var b strings.Builder
+	for i := hi; i >= 0; i-- {
+		if i == hi {
+			fmt.Fprintf(&b, "%x", s[i])
+		} else {
+			fmt.Fprintf(&b, "%016x", s[i])
+		}
+	}
+	return "0x" + b.String()
+}

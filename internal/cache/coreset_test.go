@@ -1,0 +1,90 @@
+package cache
+
+import (
+	"testing"
+
+	"multikernel/internal/topo"
+)
+
+func TestCoreSetBasics(t *testing.T) {
+	var s CoreSet
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	members := []topo.CoreID{0, 1, 63, 64, 500, 1023}
+	for _, c := range members {
+		s.Add(c)
+	}
+	s.Add(63) // idempotent
+	if s.Count() != len(members) {
+		t.Fatalf("Count = %d, want %d", s.Count(), len(members))
+	}
+	for _, c := range members {
+		if !s.Has(c) {
+			t.Errorf("Has(%d) = false", c)
+		}
+	}
+	if s.Has(2) || s.Has(512) {
+		t.Error("Has reports a non-member")
+	}
+	if s.Only(0) {
+		t.Error("Only(0) on a 6-member set")
+	}
+	if !s.HasOther(0) {
+		t.Error("HasOther(0) = false with five other members")
+	}
+	s.Del(1023)
+	s.Del(1023) // idempotent
+	if s.Has(1023) || s.Count() != len(members)-1 {
+		t.Fatal("Del did not remove 1023 exactly once")
+	}
+}
+
+// ForEach must visit members in ascending core order — the directory's
+// probe-order determinism depends on it.
+func TestCoreSetForEachAscending(t *testing.T) {
+	var s CoreSet
+	want := []topo.CoreID{3, 64, 65, 127, 128, 700, 1023}
+	// Insert out of order; iteration order must not care.
+	for _, c := range []topo.CoreID{1023, 3, 128, 65, 700, 64, 127} {
+		s.Add(c)
+	}
+	var got []topo.CoreID
+	s.ForEach(func(c topo.CoreID) { got = append(got, c) })
+	if len(got) != len(want) {
+		t.Fatalf("visited %d members, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("visit %d = core %d, want %d (ascending order)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCoreSetOnlyAndSnapshot(t *testing.T) {
+	s := OnlyCore(77)
+	if !s.Only(77) || s.Count() != 1 || s.HasOther(77) {
+		t.Fatal("OnlyCore(77) is not exactly {77}")
+	}
+	// Value semantics: a copied view must not alias later mutations.
+	snap := s
+	s.Add(78)
+	if snap.Has(78) {
+		t.Fatal("snapshot aliased the live set")
+	}
+	if snap != OnlyCore(77) {
+		t.Fatal("comparable value equality broken")
+	}
+}
+
+func TestCoreSetString(t *testing.T) {
+	var s CoreSet
+	if got := s.String(); got != "0x0" {
+		t.Errorf("empty String = %q, want 0x0", got)
+	}
+	s.Add(4)
+	s.Add(64)
+	if got := s.String(); got != "0x10000000000000010" {
+		t.Errorf("String = %q, want 0x10000000000000010", got)
+	}
+}

@@ -201,7 +201,7 @@ func (s *System) remoteStore(idx int, base memory.Addr, vals [memory.WordsPerLin
 	for i := 0; i < memory.WordsPerLine; i++ {
 		s.mem.StoreWord(base+memory.Addr(i*8), vals[i])
 	}
-	l.holders = 1 << uint(r.writer)
+	l.holders = OnlyCore(r.writer)
 	l.owner = r.writer
 	l.dirty = true
 	if s.audit != nil {
@@ -225,7 +225,7 @@ func (s *System) remoteBytes(idx int, a memory.Addr, b []byte) {
 		if s.audit != nil {
 			before = l.view()
 		}
-		l.holders = 1 << uint(r.writer)
+		l.holders = OnlyCore(r.writer)
 		l.owner = r.writer
 		l.dirty = true
 		if s.audit != nil {

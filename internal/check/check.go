@@ -46,6 +46,7 @@ type RunConfig struct {
 	Depth     int           // max perturbations in generative mode; 0 = unperturbed
 	MaxJitter sim.Time      // jitter bound; 0 = default (128 cycles)
 	Faults    bool          // arm a seeded fault schedule
+	Directory bool            // run under directory coherence instead of broadcast
 	Script    []Perturbation  // non-nil: replay exactly this script instead of generating
 	Mutate    urpc.Mutation   // plant a known transport defect (checker self-tests)
 	KVMut     apps.KVMutation // plant a known replication defect (checker self-tests)
@@ -95,7 +96,11 @@ func RunOne(cfg RunConfig) Result {
 
 	m := topo.AMD4x4()
 	sys := cache.New(e, m, memory.New(m), interconnect.New(m))
+	if cfg.Directory {
+		sys.SetMode(cache.Directory)
+	}
 	mc := NewMOESIChecker()
+	mc.Bind(sys)
 	sys.SetAudit(mc)
 
 	res := Result{Workload: cfg.Workload, Seed: cfg.Seed}
@@ -145,6 +150,7 @@ type Config struct {
 	Depth     int
 	MaxJitter sim.Time
 	Faults    bool
+	Directory bool // run every point under directory coherence
 }
 
 // Run executes the sweep, one engine per (workload, seed) pair, parallelized
@@ -172,6 +178,7 @@ func Run(cfg Config) []Result {
 			Depth:     cfg.Depth,
 			MaxJitter: cfg.MaxJitter,
 			Faults:    cfg.Faults,
+			Directory: cfg.Directory,
 		})
 	})
 }

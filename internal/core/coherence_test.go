@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"multikernel/internal/apps"
+	"multikernel/internal/cache"
+	"multikernel/internal/caps"
+	"multikernel/internal/check"
+	"multikernel/internal/sim"
+	"multikernel/internal/topo"
+	"multikernel/internal/trace"
+)
+
+// The mode-equivalence property (the directory protocol's contract):
+// broadcast and directory coherence are performance models of the SAME
+// protocol, so on a scaled mesh any timing-independent workload must end in
+// identical memory contents and a linearizable kvstore history under both —
+// on the serial engine and on the parallel engine at 1, 2 and 4 workers.
+
+const (
+	cohLines   = 8  // contended counter lines
+	cohIncs    = 4  // increments per writer per line
+	cohRows    = 32 // kvstore rows
+	cohKeysPer = 8  // disjoint key-range width per client
+	cohOpsPer  = 6  // kv ops per client
+)
+
+// coherenceOutcome is the observable final state of one run.
+type coherenceOutcome struct {
+	sums   []uint64 // final counter-line values
+	kvVals []uint64 // final kvstore contents
+}
+
+func runCoherenceWorkload(t *testing.T, ec engineCase) coherenceOutcome {
+	s, e := ec.s, ec.e
+	rec := trace.NewRecorder()
+	e.SetTracer(rec)
+
+	// Contended commutative increments: one writer per socket, all lines.
+	// Any interleaving sums to nWriters*cohIncs, so the outcome is mode- and
+	// schedule-independent while every RMW exercises a cross-socket upgrade.
+	ctr := s.Mem.AllocLines(cohLines, 0)
+	nWriters := s.Mach.NSockets
+	for w := 0; w < nWriters; w++ {
+		c := topo.CoreID(w * s.Mach.CoresPerSocket)
+		e.Spawn(fmt.Sprintf("inc%d", c), func(p *sim.Proc) {
+			for i := 0; i < cohIncs; i++ {
+				for l := 0; l < cohLines; l++ {
+					s.Cache.RMW(p, c, ctr.LineAt(l), func(v uint64) uint64 { return v + 1 })
+				}
+			}
+		})
+	}
+
+	// kvstore clients on distinct sockets, each owning a disjoint key range:
+	// the final store contents are interleaving-independent, and the recorded
+	// history must linearize regardless of how mode-dependent latencies
+	// shuffled the operations.
+	kv := apps.NewKVStore(s.Cache, 1, cohRows)
+	svc := apps.NewKVService(e, kv)
+	clients := []topo.CoreID{2, 21, 42, 63}
+	for ci, cc := range clients {
+		cl := svc.Connect(cc)
+		base := uint64(ci * cohKeysPer)
+		ci := ci
+		e.Spawn(fmt.Sprintf("kvclient%d", ci), func(p *sim.Proc) {
+			for i := 0; i < cohOpsPer; i++ {
+				key := base + uint64(i%cohKeysPer)
+				if _, err := cl.Update(p, key, uint64(ci+1)*1_000_000+uint64(i)); err != nil {
+					t.Errorf("client %d: %v", ci, err)
+					return
+				}
+				if _, _, err := cl.Select(p, base+uint64((i+3)%cohKeysPer)); err != nil {
+					t.Errorf("client %d: %v", ci, err)
+					return
+				}
+			}
+		})
+	}
+
+	// Coordinated operations ride along, so the monitor hierarchy runs under
+	// both coherence modes too.
+	reg := s.Mem.Alloc(8192, 0)
+	e.Spawn("admin", func(p *sim.Proc) {
+		if !s.GlobalRetype(p, 0, reg.Base, reg.Bytes, caps.Frame, 0) {
+			t.Error("retype aborted")
+		}
+	})
+	ec.run()
+
+	// Read back the final state on a quiesced system.
+	out := coherenceOutcome{
+		sums:   make([]uint64, cohLines),
+		kvVals: make([]uint64, cohRows),
+	}
+	cl := svc.Connect(3)
+	e.Spawn("readback", func(p *sim.Proc) {
+		for l := 0; l < cohLines; l++ {
+			out.sums[l] = s.Cache.Load(p, 0, ctr.LineAt(l))
+		}
+		for k := 0; k < cohRows; k++ {
+			v, ok, err := cl.Select(p, uint64(k))
+			if err != nil || !ok {
+				t.Errorf("readback key %d: ok=%v err=%v", k, ok, err)
+				return
+			}
+			out.kvVals[k] = v
+		}
+	})
+	ec.run()
+
+	// Linearizability of the trace-reconstructed history against the store's
+	// seeded contents.
+	init := make(map[uint64]uint64, cohRows)
+	for k := uint64(0); k < cohRows; k++ {
+		init[k] = k*2654435761 + 1 // NewKVStore's seeding formula
+	}
+	for _, v := range check.CheckLinearizable(check.ExtractKVHistory(rec.Events()), init) {
+		t.Errorf("%s: %s", ec.s.Cache.Mode(), v)
+	}
+	return out
+}
+
+func TestCoherenceModeEquivalence(t *testing.T) {
+	m := topo.Mesh(4) // 64 cores, 16 sockets
+	var ref *coherenceOutcome
+	for _, mode := range []cache.CoherenceMode{cache.Broadcast, cache.Directory} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			forEachEngineOpts(t, m, Options{Coherence: mode}, func(t *testing.T, ec engineCase) {
+				if got := ec.s.Cache.Mode(); got != mode {
+					t.Fatalf("booted in %v, want %v", got, mode)
+				}
+				out := runCoherenceWorkload(t, ec)
+				for l, sum := range out.sums {
+					if want := uint64(m.NSockets * cohIncs); sum != want {
+						t.Errorf("counter line %d = %d, want %d", l, sum, want)
+					}
+				}
+				if ref == nil {
+					ref = &out
+					return
+				}
+				for l := range out.sums {
+					if out.sums[l] != ref.sums[l] {
+						t.Errorf("counter line %d = %d, reference run has %d", l, out.sums[l], ref.sums[l])
+					}
+				}
+				for k := range out.kvVals {
+					if out.kvVals[k] != ref.kvVals[k] {
+						t.Errorf("key %d = %d, reference run has %d", k, out.kvVals[k], ref.kvVals[k])
+					}
+				}
+			})
+		})
+	}
+}

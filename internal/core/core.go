@@ -53,6 +53,11 @@ type Options struct {
 	// spinlock instead of one per core (§3.3's sharing-as-optimization).
 	SharedReplicas bool
 
+	// Coherence selects the machine's coherence protocol: Broadcast (the
+	// zero value, snooping as on the paper machines) or Directory (home-node
+	// sharer bitmaps with targeted probes, for scaled machines).
+	Coherence cache.CoherenceMode
+
 	// Workers selects the engine: 0 boots on the serial reference engine,
 	// >0 boots on a sim.ParallelEngine with that host-goroutine budget (see
 	// BootAuto). BootParallel ignores it — the ParallelEngine passed in
@@ -92,6 +97,7 @@ func bootWith(e *sim.Engine, m *topo.Machine, opts Options, partition func(s *Sy
 	s.Mem = memory.New(m)
 	s.Fabric = interconnect.New(m)
 	s.Cache = cache.New(e, m, s.Mem, s.Fabric)
+	s.Cache.SetMode(opts.Coherence)
 	if partition != nil {
 		partition(s)
 	}

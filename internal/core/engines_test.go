@@ -28,10 +28,16 @@ type engineCase struct {
 // where every proc must live in the replica owning its core, is covered by
 // parallel_test.go and the expt boot workloads.
 func forEachEngine(t *testing.T, m *topo.Machine, fn func(t *testing.T, ec engineCase)) {
+	forEachEngineOpts(t, m, Options{}, fn)
+}
+
+// forEachEngineOpts is forEachEngine with explicit boot options (coherence
+// mode, shared replicas), for sweeps that vary system configuration.
+func forEachEngineOpts(t *testing.T, m *topo.Machine, opts Options, fn func(t *testing.T, ec engineCase)) {
 	t.Run("serial", func(t *testing.T) {
 		e := sim.NewEngine(1)
 		t.Cleanup(e.Close)
-		fn(t, engineCase{e: e, s: Boot(e, m), run: e.Run})
+		fn(t, engineCase{e: e, s: BootWith(e, m, opts), run: e.Run})
 	})
 	for _, w := range []int{1, 2, 4} {
 		w := w
@@ -39,7 +45,7 @@ func forEachEngine(t *testing.T, m *topo.Machine, fn func(t *testing.T, ec engin
 			pm := topo.Partition(m, 1)
 			pe := sim.NewParallelEngine(1, interconnect.Lookahead(m, pm), 1, w)
 			t.Cleanup(pe.Close)
-			ps := BootParallel(pe, m, Options{})
+			ps := BootParallel(pe, m, opts)
 			fn(t, engineCase{e: pe.Part(0), s: ps.Part(0), run: pe.Run})
 		})
 	}

@@ -28,10 +28,10 @@ func ExtScaling(iters int) *figure {
 	unmap := f.AddSeries("Barrelfish unmap")
 	lx := f.AddSeries("Linux unmap")
 	meshes := []*topo.Machine{
-		topo.Mesh(2, 2, 4), // 16 cores
-		topo.Mesh(4, 2, 4), // 32
-		topo.Mesh(4, 3, 4), // 48
-		topo.Mesh(4, 4, 4), // 64
+		topo.MeshXY(2, 2, 4), // 16 cores
+		topo.MeshXY(4, 2, 4), // 32
+		topo.MeshXY(4, 3, 4), // 48
+		topo.MeshXY(4, 4, 4), // 64
 	}
 	runs := []func(m *topo.Machine, n int) float64{
 		func(m *topo.Machine, n int) float64 {
@@ -61,7 +61,7 @@ func ExtSharedReplica(iters int) *table {
 		Title:   "Extension: shared-replica optimization (2PC retype cost, cycles)",
 		Columns: []string{"Machine", "per-core replicas", "per-socket replicas", "speedup"},
 	}
-	for _, m := range []*topo.Machine{topo.AMD4x4(), topo.AMD8x4(), topo.Mesh(4, 4, 4)} {
+	for _, m := range []*topo.Machine{topo.AMD4x4(), topo.AMD8x4(), topo.MeshXY(4, 4, 4)} {
 		per := retypeCost(m, false, iters)
 		grp := retypeCost(m, true, iters)
 		t.AddRow(m.Name,

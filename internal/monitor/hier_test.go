@@ -1,0 +1,165 @@
+package monitor
+
+import (
+	"testing"
+
+	"multikernel/internal/caps"
+	"multikernel/internal/sim"
+	"multikernel/internal/topo"
+)
+
+// Hierarchical dissemination on scaled machines: full-machine operations on
+// a mesh with more remote sockets than hierFanout must route over the SKB's
+// three-level tree — bounding the initiator's direct sends — while still
+// reaching every core exactly once and leaving no forwarding state behind.
+
+// hierMachine is the smallest mesh the planner hierarchizes: 12 sockets.
+func hierMachine() *topo.Machine { return topo.MeshXY(4, 3, 2) }
+
+func TestHierPlanActivates(t *testing.T) {
+	f := newFixture(t, hierMachine())
+	mon := f.net.Monitor(0)
+	if !mon.useHier() {
+		t.Fatalf("%s (%d sockets) should use hierarchical dissemination", f.m.Name, f.m.NSockets)
+	}
+	plan := mon.plan(NUMAAware, nil)
+	// Direct sends: at most hierFanout region heads plus socket-local cores.
+	if max := hierFanout + f.m.CoresPerSocket - 1; len(plan) > max {
+		t.Fatalf("initiator sends %d direct messages, want <= %d", len(plan), max)
+	}
+	// At least one send must carry a relay mask (12 sockets > 8 heads).
+	relayed := 0
+	for _, s := range plan {
+		relayed += len(mon.relayPlans(s.mask))
+	}
+	if relayed == 0 {
+		t.Fatal("no relay masks in hierarchical plan")
+	}
+	// Paper machines stay flat: no relay bits, one send per remote socket.
+	fl := newFixture(t, topo.AMD8x4())
+	if fl.net.Monitor(0).useHier() {
+		t.Fatal("8-socket machine must not hierarchize")
+	}
+}
+
+func TestHierUnmapReachesAllCores(t *testing.T) {
+	for _, proto := range []Protocol{Multicast, NUMAAware} {
+		f := newFixture(t, hierMachine())
+		ok := false
+		f.e.Spawn("app", func(p *sim.Proc) {
+			ok = f.net.Monitor(0).Unmap(p, 0x10000, 4096, nil, proto)
+		})
+		f.e.Run()
+		if !ok {
+			t.Fatalf("%v: unmap failed", proto)
+		}
+		for c := 0; c < f.m.NumCores(); c++ {
+			if f.invalidated[topo.CoreID(c)] != 1 {
+				t.Fatalf("%v: core %d invalidated %d times, want 1", proto, c, f.invalidated[topo.CoreID(c)])
+			}
+		}
+		// No leaked aggregation state on any monitor.
+		for c := 0; c < f.m.NumCores(); c++ {
+			if n := len(f.net.Monitor(topo.CoreID(c)).fwd); n != 0 {
+				t.Fatalf("%v: monitor %d left %d fwd entries", proto, c, n)
+			}
+		}
+	}
+}
+
+func TestHierRetypeCommitsEverywhere(t *testing.T) {
+	f := newFixture(t, hierMachine())
+	ok := false
+	f.e.Spawn("app", func(p *sim.Proc) {
+		ok = f.net.Monitor(5).Retype(p, 0x40000, 8192, caps.Frame, 0, nil)
+	})
+	f.e.Run()
+	if !ok {
+		t.Fatal("retype aborted unexpectedly")
+	}
+	for c := 0; c < f.m.NumCores(); c++ {
+		id := topo.CoreID(c)
+		if f.applied[id] != 1 {
+			t.Fatalf("core %d applied %d times, want 1", c, f.applied[id])
+		}
+	}
+}
+
+// A veto on a relayed socket must reach the initiator through two
+// aggregation levels and abort the operation everywhere.
+func TestHierRetypeVetoOnRelayedSocket(t *testing.T) {
+	f := newFixture(t, hierMachine())
+	// Core 23 is on the last socket — under latency ordering from core 0 it
+	// is a region head's relay target or head itself; either way its vote
+	// crosses the hierarchy.
+	f.vetoCores[23] = true
+	ok := true
+	f.e.Spawn("app", func(p *sim.Proc) {
+		ok = f.net.Monitor(0).Retype(p, 0x40000, 8192, caps.Frame, 0, nil)
+	})
+	f.e.Run()
+	if ok {
+		t.Fatal("retype committed past a veto")
+	}
+	for c := 0; c < f.m.NumCores(); c++ {
+		if f.applied[topo.CoreID(c)] != 0 {
+			t.Fatalf("core %d applied an aborted retype", c)
+		}
+	}
+	// Range locks released everywhere after the abort round.
+	for c := 0; c < f.m.NumCores(); c++ {
+		if n := f.net.Monitor(topo.CoreID(c)).LockedRanges(); n != 0 {
+			t.Fatalf("monitor %d still holds %d locks", c, n)
+		}
+	}
+}
+
+// Membership changes (1PC over the hierarchy) must update every replica of
+// the view, and subsequent full-machine plans must drop the offline core.
+func TestHierCoreDownUpdatesAllViews(t *testing.T) {
+	f := newFixture(t, hierMachine())
+	const victim = topo.CoreID(13)
+	f.e.Spawn("app", func(p *sim.Proc) {
+		if err := f.net.PowerOff(p, 0, victim); err != nil {
+			t.Error(err)
+		}
+		f.net.Monitor(0).Unmap(p, 0x10000, 4096, nil, NUMAAware)
+	})
+	f.e.Run()
+	for c := 0; c < f.m.NumCores(); c++ {
+		if f.net.Monitor(topo.CoreID(c)).Online(victim) {
+			t.Fatalf("monitor %d still sees core %d online", c, victim)
+		}
+	}
+	if f.invalidated[victim] != 0 {
+		t.Fatal("offline core was shot down")
+	}
+	for c := 0; c < f.m.NumCores(); c++ {
+		if topo.CoreID(c) != victim && f.invalidated[topo.CoreID(c)] != 1 {
+			t.Fatalf("core %d invalidated %d times", c, f.invalidated[topo.CoreID(c)])
+		}
+	}
+}
+
+// The hierarchy must pay off where it applies: on a wide machine the
+// initiator-side burst of a flat tree (one marshal per remote socket) makes
+// full-machine unmap slower than the hierarchical plan. Compare against
+// unicast, whose initiator burst is strictly larger.
+func TestHierBeatsUnicastAtScale(t *testing.T) {
+	measure := func(proto Protocol) sim.Time {
+		f := newFixture(t, hierMachine())
+		var lat sim.Time
+		f.e.Spawn("app", func(p *sim.Proc) {
+			f.net.Monitor(0).Unmap(p, 0x10000, 4096, nil, proto)
+			start := p.Now()
+			f.net.Monitor(0).Unmap(p, 0x20000, 4096, nil, proto)
+			lat = p.Now() - start
+		})
+		f.e.Run()
+		return lat
+	}
+	uni, numa := measure(Unicast), measure(NUMAAware)
+	if numa >= uni {
+		t.Fatalf("hierarchical NUMA-aware (%d) not faster than unicast (%d)", numa, uni)
+	}
+}

@@ -80,10 +80,26 @@ func (m *Monitor) fwdEnd(p *sim.Proc, op Op, allYes bool) {
 
 // aux-word layout for dissemination messages: low 16 bits carry the child
 // mask (relative to the receiver's socket base core), bit 16 carries the
-// commit flag on decision messages.
+// commit flag on decision messages, and bits 17–62 carry the relay mask of a
+// hierarchical dissemination — the absolute socket IDs whose aggregation
+// nodes the receiving region head must contact on the initiator's behalf.
+// Bit 63 (auxRelayLeaf) marks a relay mask whose sockets participate with
+// their aggregation core only — the per-socket-delegate dissemination of the
+// §3.3 shared-replica optimization — rather than with every online core.
 const (
-	auxMaskBits = 16
-	auxCommit   = 1 << auxMaskBits
+	auxMaskBits   = 16
+	auxCommit     = 1 << auxMaskBits
+	auxRelayShift = 17
+	auxRelayLeaf  = uint64(1) << 63
+	// hierFanout bounds the initiator's direct sends on large machines: with
+	// more remote sockets than this, dissemination goes through the SKB's
+	// three-level tree (source -> region heads -> socket aggregators). The
+	// paper machines (<= 8 sockets) never hit it, keeping their protocol
+	// traffic identical.
+	hierFanout = 8
+	// maxRelaySockets is the widest machine whose socket IDs fit the relay
+	// mask; beyond it the planner falls back to the flat two-level tree.
+	maxRelaySockets = 63 - auxRelayShift
 )
 
 // sendPlan is one direct transmission of a dissemination round.
@@ -123,7 +139,8 @@ func (m *Monitor) expandMask(mask uint64) []topo.CoreID {
 // plan computes the direct sends for disseminating to targets under the
 // given protocol. A nil target list means every core.
 func (m *Monitor) plan(protocol Protocol, targets []topo.CoreID) []sendPlan {
-	if targets == nil {
+	full := targets == nil
+	if full {
 		targets = m.onlineView()
 	} else {
 		// Filter an explicit target list through the replicated membership
@@ -147,6 +164,9 @@ func (m *Monitor) plan(protocol Protocol, targets []topo.CoreID) []sendPlan {
 		}
 		return out
 	case Multicast, NUMAAware:
+		if m.useHier() && (full || m.leaderSet(targets)) {
+			return m.hierPlan(protocol, targets, !full)
+		}
 		tree := m.net.KB.MulticastTree(m.Core, targets)
 		groups := append([]skb.Group(nil), tree.Groups...)
 		if protocol == Multicast {
@@ -165,10 +185,114 @@ func (m *Monitor) plan(protocol Protocol, targets []topo.CoreID) []sendPlan {
 	panic("monitor: unknown protocol")
 }
 
+// useHier reports whether full-machine dissemination should route over the
+// hierarchical multicast tree: only on machines with more remote sockets than
+// the initiator fanout, and only when every socket ID fits the relay mask.
+func (m *Monitor) useHier() bool {
+	ns := m.net.Sys.Machine().NSockets
+	return ns > hierFanout+1 && ns <= maxRelaySockets
+}
+
+// leaderSet reports whether an explicit target list is a per-socket-delegate
+// set: at most one target per socket, each the socket's lowest online core —
+// exactly the aggregation node a relaying region head would pick on the
+// initiator's behalf, which is what makes the set hierarchy-routable.
+func (m *Monitor) leaderSet(targets []topo.CoreID) bool {
+	mach := m.net.Sys.Machine()
+	seen := make([]bool, mach.NSockets)
+	for _, c := range targets {
+		s := mach.Socket(c)
+		if seen[s] {
+			return false
+		}
+		seen[s] = true
+		for _, o := range mach.CoresOf(s) {
+			if m.view[o] {
+				if o != c {
+					return false
+				}
+				break
+			}
+		}
+	}
+	return true
+}
+
+// hierPlan computes the direct sends of a hierarchical dissemination: one
+// message per region head, carrying both the head's socket-local child mask
+// and the relay mask of the region's other sockets. With leaf set, relayed
+// sockets participate with their aggregation core only.
+func (m *Monitor) hierPlan(protocol Protocol, targets []topo.CoreID, leaf bool) []sendPlan {
+	mach := m.net.Sys.Machine()
+	tree := m.net.KB.HierMulticastTree(m.Core, targets, hierFanout)
+	regions := append([]skb.Region(nil), tree.Regions...)
+	if protocol == Multicast {
+		sortRegionsByAgg(regions)
+	}
+	var out []sendPlan
+	for _, r := range regions {
+		mask := m.relMask(r.Children)
+		for _, g := range r.Subs {
+			mask |= 1 << uint(auxRelayShift+int(mach.Socket(g.Agg)))
+		}
+		if leaf && len(r.Subs) > 0 {
+			mask |= auxRelayLeaf
+		}
+		out = append(out, sendPlan{to: r.Agg, mask: mask})
+	}
+	for _, c := range tree.Local {
+		out = append(out, sendPlan{to: c})
+	}
+	return out
+}
+
+// relayPlans expands a message's relay-socket mask into the sends a region
+// head owes the region's other sockets: each named socket's lowest online
+// core becomes its aggregation node, with the socket's remaining online cores
+// as its child mask (none under the leaf flag). Resolved against the head's
+// replicated view, which in the fail-free dissemination path agrees with the
+// initiator's.
+func (m *Monitor) relayPlans(aux uint64) []sendPlan {
+	relay := aux >> auxRelayShift & (1<<uint(maxRelaySockets) - 1)
+	if relay == 0 {
+		return nil
+	}
+	mach := m.net.Sys.Machine()
+	var out []sendPlan
+	for s := 0; relay != 0; s, relay = s+1, relay>>1 {
+		if relay&1 == 0 {
+			continue
+		}
+		var cs []topo.CoreID
+		for _, c := range mach.CoresOf(topo.SocketID(s)) {
+			if m.view[c] {
+				cs = append(cs, c)
+			}
+		}
+		if len(cs) == 0 {
+			continue
+		}
+		if aux&auxRelayLeaf != 0 {
+			out = append(out, sendPlan{to: cs[0]})
+			continue
+		}
+		out = append(out, sendPlan{to: cs[0], mask: m.relMask(cs[1:])})
+	}
+	return out
+}
+
 func sortGroupsByAgg(gs []skb.Group) {
 	for i := 1; i < len(gs); i++ {
 		for j := i; j > 0 && gs[j].Agg < gs[j-1].Agg; j-- {
 			gs[j], gs[j-1] = gs[j-1], gs[j]
+		}
+	}
+}
+
+func sortRegionsByAgg(rs []skb.Region) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Agg < rs[j-1].Agg; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
 		}
 	}
 }
@@ -270,12 +394,25 @@ func (m *Monitor) invalidateLocal(p *sim.Proc, op Op) {
 func (m *Monitor) handleShootdown(p *sim.Proc, src topo.CoreID, op Op, aux uint64, isFwd bool) {
 	m.invalidateLocal(p, op)
 	children := m.expandMask(aux & (auxCommit - 1))
-	if len(children) > 0 && !isFwd {
-		m.fwd[op.ID] = &fwdState{parent: src, op: op, pending: corePending(children), ackKind: MsgShootdownAck, deadline: m.fwdDeadline(p)}
+	var relays []sendPlan
+	if !isFwd {
+		relays = m.relayPlans(aux)
+	}
+	if len(children)+len(relays) > 0 && !isFwd {
+		pend := corePending(children)
+		for _, r := range relays {
+			pend[r.to] = true
+		}
+		m.fwd[op.ID] = &fwdState{parent: src, op: op, pending: pend, ackKind: MsgShootdownAck, deadline: m.fwdDeadline(p)}
 		m.fwdBegin(p, op)
-		msgs := make([]batchMsg, 0, len(children))
+		msgs := make([]batchMsg, 0, len(children)+len(relays))
 		for _, c := range children {
 			msgs = append(msgs, batchMsg{to: c, msg: wire(MsgShootdownFwd, op, 0)})
+		}
+		// Relayed sockets get the unforwarded kind: their aggregation nodes
+		// build their own fwdState with this head as the parent.
+		for _, r := range relays {
+			msgs = append(msgs, batchMsg{to: r.to, msg: wire(MsgShootdown, op, r.mask)})
 		}
 		m.sendMany(p, msgs)
 		return
@@ -305,12 +442,23 @@ func (m *Monitor) handlePrepare(p *sim.Proc, src topo.CoreID, op Op, aux uint64,
 		m.unlock(op.ID)
 	}
 	children := m.expandMask(aux & (auxCommit - 1))
-	if len(children) > 0 && !isFwd {
-		m.fwd[op.ID] = &fwdState{parent: src, op: op, pending: corePending(children), allYes: ok, ackKind: MsgVote, deadline: m.fwdDeadline(p)}
+	var relays []sendPlan
+	if !isFwd {
+		relays = m.relayPlans(aux)
+	}
+	if len(children)+len(relays) > 0 && !isFwd {
+		pend := corePending(children)
+		for _, r := range relays {
+			pend[r.to] = true
+		}
+		m.fwd[op.ID] = &fwdState{parent: src, op: op, pending: pend, allYes: ok, ackKind: MsgVote, deadline: m.fwdDeadline(p)}
 		m.fwdBegin(p, op)
-		msgs := make([]batchMsg, 0, len(children))
+		msgs := make([]batchMsg, 0, len(children)+len(relays))
 		for _, c := range children {
 			msgs = append(msgs, batchMsg{to: c, msg: wire(MsgPrepareFwd, op, 0)})
+		}
+		for _, r := range relays {
+			msgs = append(msgs, batchMsg{to: r.to, msg: wire(MsgPrepare, op, r.mask)})
 		}
 		m.sendMany(p, msgs)
 		return
@@ -383,12 +531,23 @@ func (m *Monitor) handleDecision(p *sim.Proc, src topo.CoreID, op Op, aux uint64
 	}
 	m.unlock(op.ID)
 	children := m.expandMask(aux & (auxCommit - 1))
-	if len(children) > 0 && !isFwd {
-		m.fwd[op.ID] = &fwdState{parent: src, op: op, pending: corePending(children), ackKind: MsgDecisionAck, deadline: m.fwdDeadline(p)}
+	var relays []sendPlan
+	if !isFwd {
+		relays = m.relayPlans(aux)
+	}
+	if len(children)+len(relays) > 0 && !isFwd {
+		pend := corePending(children)
+		for _, r := range relays {
+			pend[r.to] = true
+		}
+		m.fwd[op.ID] = &fwdState{parent: src, op: op, pending: pend, ackKind: MsgDecisionAck, deadline: m.fwdDeadline(p)}
 		m.fwdBegin(p, op)
-		msgs := make([]batchMsg, 0, len(children))
+		msgs := make([]batchMsg, 0, len(children)+len(relays))
 		for _, c := range children {
 			msgs = append(msgs, batchMsg{to: c, msg: wire(MsgDecisionFwd, op, aux&auxCommit)})
+		}
+		for _, r := range relays {
+			msgs = append(msgs, batchMsg{to: r.to, msg: wire(MsgDecision, op, r.mask|aux&auxCommit)})
 		}
 		m.sendMany(p, msgs)
 		return

@@ -158,7 +158,7 @@ func TestInferredRoutesMatchBFSProperty(t *testing.T) {
 		if w*h < 2 {
 			return true
 		}
-		m := topo.Mesh(w, h, 1)
+		m := topo.MeshXY(w, h, 1)
 		kb := New(m)
 		kb.Discover()
 		if _, err := kb.Infer(StandardRules()); err != nil {

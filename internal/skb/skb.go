@@ -219,6 +219,73 @@ func (kb *KB) MulticastTree(src topo.CoreID, cores []topo.CoreID) *Tree {
 	return t
 }
 
+// Region is one subtree of a hierarchical multicast tree: a head group whose
+// aggregation core both forwards to its own socket-local children and relays
+// the message onward to the Subs groups' aggregators.
+type Region struct {
+	Group         // the head: first (highest-latency) group of the region
+	Subs  []Group // remaining socket groups, reached via the head's Agg
+}
+
+// HierTree is a three-level multicast tree for large machines: the source
+// sends to at most `fanout` region heads; each head forwards to its own
+// socket-local children and relays to the aggregators of the region's other
+// sockets, which in turn forward to their children. On machines with no more
+// than `fanout` remote sockets it degenerates to the flat two-level Tree.
+type HierTree struct {
+	Source  topo.CoreID
+	Regions []Region
+	Local   []topo.CoreID
+}
+
+// Fanout returns the total number of cores the tree reaches (excluding the
+// source).
+func (t *HierTree) Fanout() int {
+	n := len(t.Local)
+	for _, r := range t.Regions {
+		n += 1 + len(r.Children)
+		for _, g := range r.Subs {
+			n += 1 + len(g.Children)
+		}
+	}
+	return n
+}
+
+// HierMulticastTree computes a hierarchical multicast tree from src covering
+// the given cores (nil = all), bounding the source's direct sends to at most
+// fanout region heads. Socket groups are formed exactly as in MulticastTree
+// and kept in its decreasing-latency order; when they exceed the fanout they
+// are split into balanced contiguous runs, so each region's head is its
+// farthest group and the relayed groups are nearer ones whose extra hop
+// overlaps the head's own forwarding.
+func (kb *KB) HierMulticastTree(src topo.CoreID, cores []topo.CoreID, fanout int) *HierTree {
+	if fanout < 1 {
+		panic("skb: hierarchical multicast fanout must be >= 1")
+	}
+	flat := kb.MulticastTree(src, cores)
+	t := &HierTree{Source: flat.Source, Local: flat.Local}
+	n := len(flat.Groups)
+	if n == 0 {
+		return t
+	}
+	nregions := fanout
+	if n < nregions {
+		nregions = n
+	}
+	for i := 0; i < nregions; i++ {
+		// Balanced contiguous chunks: the first n%nregions regions get one
+		// extra group.
+		lo := i*(n/nregions) + min(i, n%nregions)
+		hi := lo + n/nregions
+		if i < n%nregions {
+			hi++
+		}
+		chunk := flat.Groups[lo:hi]
+		t.Regions = append(t.Regions, Region{Group: chunk[0], Subs: chunk[1:]})
+	}
+	return t
+}
+
 // AllocAdvice returns the socket whose memory a channel or buffer serving
 // core c should be allocated from: c's own socket (NUMA-local placement).
 func (kb *KB) AllocAdvice(c topo.CoreID) topo.SocketID {

@@ -132,6 +132,99 @@ func TestMulticastTreeSubset(t *testing.T) {
 	}
 }
 
+// HierMulticastTree on a 16-socket mesh with fanout 4: the source sends to
+// 4 region heads; every one of the 15 remote socket groups appears exactly
+// once (as a head or a relayed sub), region heads are the farthest groups of
+// their chunk, and total coverage matches the flat tree.
+func TestHierMulticastTreeStructure(t *testing.T) {
+	m := topo.Mesh(4) // 16 sockets x 4 cores
+	kb := New(m)
+	kb.Discover()
+	const fanout = 4
+	tree := kb.HierMulticastTree(0, nil, fanout)
+	if got, want := tree.Fanout(), m.NumCores()-1; got != want {
+		t.Fatalf("fanout=%d, want %d", got, want)
+	}
+	if len(tree.Regions) != fanout {
+		t.Fatalf("regions=%d, want %d", len(tree.Regions), fanout)
+	}
+	if len(tree.Local) != m.CoresPerSocket-1 {
+		t.Fatalf("local=%v", tree.Local)
+	}
+	seen := map[topo.SocketID]bool{}
+	note := func(g Group) {
+		s := m.Socket(g.Agg)
+		if seen[s] {
+			t.Fatalf("socket %d appears twice", s)
+		}
+		seen[s] = true
+	}
+	for _, r := range tree.Regions {
+		note(r.Group)
+		for _, g := range r.Subs {
+			note(g)
+			// The head is its region's farthest group (flat order is
+			// decreasing latency, chunks are contiguous).
+			if g.Latency > r.Latency {
+				t.Fatalf("sub group %d (lat %d) farther than its head %d (lat %d)",
+					g.Agg, g.Latency, r.Agg, r.Latency)
+			}
+		}
+	}
+	if len(seen) != m.NSockets-1 {
+		t.Fatalf("covered %d remote sockets, want %d", len(seen), m.NSockets-1)
+	}
+}
+
+// With few remote sockets the hierarchical tree degenerates to the flat one:
+// each region is a single group with no subs.
+func TestHierMulticastTreeDegenerate(t *testing.T) {
+	m := topo.AMD4x4()
+	kb := New(m)
+	kb.Discover()
+	tree := kb.HierMulticastTree(0, nil, 8)
+	flat := kb.MulticastTree(0, nil)
+	if len(tree.Regions) != len(flat.Groups) {
+		t.Fatalf("regions=%d, want %d", len(tree.Regions), len(flat.Groups))
+	}
+	for i, r := range tree.Regions {
+		if len(r.Subs) != 0 {
+			t.Fatalf("region %d has %d subs on a small machine", i, len(r.Subs))
+		}
+		if r.Agg != flat.Groups[i].Agg {
+			t.Fatalf("region %d head %d != flat group %d", i, r.Agg, flat.Groups[i].Agg)
+		}
+	}
+	if tree.Fanout() != flat.Fanout() {
+		t.Fatalf("hier fanout %d != flat %d", tree.Fanout(), flat.Fanout())
+	}
+}
+
+// The same seed always produces the same hierarchical tree (map iteration in
+// group formation must not leak into region assignment).
+func TestHierMulticastTreeDeterministic(t *testing.T) {
+	m := topo.Mesh(3)
+	kb := New(m)
+	kb.Discover()
+	a := kb.HierMulticastTree(5, nil, 3)
+	for i := 0; i < 10; i++ {
+		b := kb.HierMulticastTree(5, nil, 3)
+		if len(a.Regions) != len(b.Regions) {
+			t.Fatal("region count varies")
+		}
+		for j := range a.Regions {
+			if a.Regions[j].Agg != b.Regions[j].Agg || len(a.Regions[j].Subs) != len(b.Regions[j].Subs) {
+				t.Fatalf("region %d differs between runs", j)
+			}
+			for k := range a.Regions[j].Subs {
+				if a.Regions[j].Subs[k].Agg != b.Regions[j].Subs[k].Agg {
+					t.Fatalf("region %d sub %d differs between runs", j, k)
+				}
+			}
+		}
+	}
+}
+
 func TestMulticastTreeWithoutMeasurementsUsesHops(t *testing.T) {
 	m := topo.AMD8x4()
 	kb := New(m)

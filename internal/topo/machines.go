@@ -1,13 +1,20 @@
 package topo
 
-import "fmt"
+import (
+	"fmt"
+
+	"multikernel/internal/sim"
+)
 
 // The cost parameters below are calibrated so that the microbenchmark tables
 // of the paper (Tables 1–3) come out in the right range on each machine; the
-// derivations are recorded in EXPERIMENTS.md. Coherence-transaction constants
-// fold in the broadcast-probe cost to all sockets, which is why the per-hop
-// increment is small compared to the base (on HyperTransport every
-// transaction probes every node, so distance to the data source adds little).
+// derivations are recorded in EXPERIMENTS.md. On the four paper machines the
+// coherence-transaction constants fold the broadcast-probe cost into
+// RemoteBase (on HyperTransport every transaction probes every node, so
+// distance to the data source adds little and SnoopPerSocket stays zero);
+// the scaled Mesh/Torus/Hier machines instead separate the mode-dependent
+// costs into SnoopPerSocket (broadcast) and DirLookup (directory) so the two
+// coherence modes genuinely diverge as socket counts grow.
 
 // Intel2x4 models the 2×4-core Intel s5000XVN system: two quad-core Xeon
 // X5355 packages, each with two dies of two cores sharing a 4MB L2, a shared
@@ -28,7 +35,7 @@ func Intel2x4() *Machine {
 			IntraDie:    60,  // through the shared on-die L2
 			IntraSocket: 290, // different dies: across the FSB
 			RemoteBase:  420, RemoteHop: 10,
-			DRAMLocal: 260, DRAMRemoteHop: 0, HomeRoute: 0,
+			DRAMLocal: 260, DRAMRemoteHop: 0, HomeRoute: 0, DirLookup: 48,
 			Trap: 700, Syscall: 140, CSwitch: 280, Upcall: 170,
 			Dispatch: 180, IPIDeliver: 350, TLBInval: 120, TLBFill: 190,
 		},
@@ -53,7 +60,7 @@ func AMD2x2() *Machine {
 			IntraDie:    300, // no shared cache: local snoop between the two cores
 			IntraSocket: 300,
 			RemoteBase:  355, RemoteHop: 8,
-			DRAMLocal: 220, DRAMRemoteHop: 60, HomeRoute: 12,
+			DRAMLocal: 220, DRAMRemoteHop: 60, HomeRoute: 12, DirLookup: 40,
 			Trap: 640, Syscall: 120, CSwitch: 250, Upcall: 150,
 			Dispatch: 160, IPIDeliver: 320, TLBInval: 100, TLBFill: 170,
 		},
@@ -79,7 +86,7 @@ func AMD4x4() *Machine {
 			IntraDie:    300, // via the shared L3
 			IntraSocket: 300,
 			RemoteBase:  390, RemoteHop: 7,
-			DRAMLocal: 250, DRAMRemoteHop: 55, HomeRoute: 12,
+			DRAMLocal: 250, DRAMRemoteHop: 55, HomeRoute: 12, DirLookup: 44,
 			Trap: 790, Syscall: 220, CSwitch: 470, Upcall: 330,
 			Dispatch: 368, IPIDeliver: 400, TLBInval: 200, TLBFill: 260,
 		},
@@ -111,7 +118,7 @@ func AMD8x4() *Machine {
 			IntraDie:    390, // via the shared L3
 			IntraSocket: 390,
 			RemoteBase:  460, RemoteHop: 4,
-			DRAMLocal: 280, DRAMRemoteHop: 50, HomeRoute: 22,
+			DRAMLocal: 280, DRAMRemoteHop: 50, HomeRoute: 22, DirLookup: 48,
 			Trap: 800, Syscall: 230, CSwitch: 490, Upcall: 350,
 			Dispatch: 404, IPIDeliver: 420, TLBInval: 210, TLBFill: 270,
 		},
@@ -119,30 +126,164 @@ func AMD8x4() *Machine {
 	return m.finish()
 }
 
-// Mesh builds a synthetic nx×ny socket grid with the given cores per socket,
-// using the 8×4 AMD cost parameters. It models the network-on-chip style
+// MeshXY builds a synthetic nx×ny socket grid with the given cores per
+// socket, using the 8×4 AMD cost parameters unchanged (BFS routing, no
+// mode-dependent snoop/directory costs). It models the network-on-chip style
 // machines the paper anticipates (§2.3) and supports scalability sweeps past
 // commodity core counts.
-func Mesh(nx, ny, coresPerSocket int) *Machine {
+func MeshXY(nx, ny, coresPerSocket int) *Machine {
 	if nx < 1 || ny < 1 {
 		panic("topo: mesh dimensions must be positive")
 	}
-	n := nx * ny
+	m := &Machine{
+		Name:           fmt.Sprintf("mesh-%dx%d-%dc", nx, ny, coresPerSocket),
+		ClockGHz:       2.0,
+		NSockets:       nx * ny,
+		DiesPerSocket:  1,
+		CoresPerSocket: coresPerSocket,
+		SharedL3:       true,
+		IOSocket:       0,
+		Links:          gridLinks(nx, ny, false),
+		Costs:          AMD8x4().Costs,
+	}
+	return m.finish()
+}
+
+// gridLinks enumerates the links of an nx×ny grid in row-major order: for
+// each socket its +X neighbour then its +Y neighbour, with wraparound links
+// when wrap is set.
+func gridLinks(nx, ny int, wrap bool) []Link {
 	var links []Link
 	id := func(x, y int) SocketID { return SocketID(y*nx + x) }
 	for y := 0; y < ny; y++ {
 		for x := 0; x < nx; x++ {
 			if x+1 < nx {
 				links = append(links, Link{id(x, y), id(x+1, y)})
+			} else if wrap && nx > 2 {
+				links = append(links, Link{id(x, y), id(0, y)})
 			}
 			if y+1 < ny {
 				links = append(links, Link{id(x, y), id(x, y+1)})
+			} else if wrap && ny > 2 {
+				links = append(links, Link{id(x, y), id(x, 0)})
 			}
 		}
 	}
-	base := AMD8x4().Costs
+	return links
+}
+
+// scaledCosts are the AMD8x4 cost parameters with the mode-dependent
+// coherence costs separated out: SnoopPerSocket is the per-remote-socket
+// serialization a broadcast snoop pays (every socket's tag filter must
+// answer before the transaction completes), DirLookup the flat home-node
+// directory indirection a targeted transaction pays instead. With these
+// values broadcast wins below ~14 sockets and directory above — the
+// crossover the coherence experiment measures.
+func scaledCosts() CostParams {
+	c := AMD8x4().Costs
+	c.SnoopPerSocket = 4
+	c.DirLookup = 52
+	return c
+}
+
+// Mesh builds a k×k socket mesh with 4 cores per socket (64 cores at k=4,
+// 1024 at k=16), dimension-ordered XY routing, per-link bandwidth maps and
+// the mode-dependent coherence costs of scaledCosts. This is the primary
+// scaled machine of the 64–1024 core sweeps.
+func Mesh(k int) *Machine {
+	if k < 2 {
+		panic("topo: mesh size must be at least 2")
+	}
 	m := &Machine{
-		Name:           fmt.Sprintf("mesh-%dx%d-%dc", nx, ny, coresPerSocket),
+		Name:           fmt.Sprintf("mesh-%d", k),
+		ClockGHz:       2.0,
+		NSockets:       k * k,
+		DiesPerSocket:  1,
+		CoresPerSocket: 4,
+		SharedL3:       true,
+		IOSocket:       0,
+		Links:          gridLinks(k, k, false),
+		Costs:          scaledCosts(),
+		gridNX:         k,
+		gridNY:         k,
+		LinkGBps:       uniformGBps(gridLinks(k, k, false), DefaultLinkGBps),
+	}
+	return m.finish()
+}
+
+// Torus builds a k×k socket torus: the mesh plus wraparound links in both
+// dimensions, halving the diameter. Requires k ≥ 3 (below that the wrap
+// links would duplicate mesh links).
+func Torus(k int) *Machine {
+	if k < 3 {
+		panic("topo: torus size must be at least 3")
+	}
+	m := &Machine{
+		Name:           fmt.Sprintf("torus-%d", k),
+		ClockGHz:       2.0,
+		NSockets:       k * k,
+		DiesPerSocket:  1,
+		CoresPerSocket: 4,
+		SharedL3:       true,
+		IOSocket:       0,
+		Links:          gridLinks(k, k, true),
+		Costs:          scaledCosts(),
+		gridNX:         k,
+		gridNY:         k,
+		gridWrap:       true,
+		LinkGBps:       uniformGBps(gridLinks(k, k, true), DefaultLinkGBps),
+	}
+	return m.finish()
+}
+
+// uniformGBps builds a bandwidth map assigning every listed link g GB/s.
+func uniformGBps(links []Link, g float64) map[Link]float64 {
+	out := make(map[Link]float64, len(links))
+	for _, l := range links {
+		out[l] = g
+	}
+	return out
+}
+
+// Hier builds a multi-socket hierarchy: clusters of fully-meshed sockets
+// joined by a ring of slower, narrower uplinks between each cluster's
+// gateway (lowest-numbered) socket. The uplinks carry a per-crossing
+// LinkLat surcharge and half the intra-cluster bandwidth, so routes that
+// leave a cluster are visibly more expensive — the NUMA-of-NUMAs shape of
+// large shared-memory machines.
+func Hier(clusters, socketsPerCluster, coresPerSocket int) *Machine {
+	if clusters < 2 || socketsPerCluster < 1 || coresPerSocket < 1 {
+		panic("topo: hierarchy needs ≥2 clusters and positive sockets/cores")
+	}
+	const uplinkExtra = 120 // cycles per uplink crossing
+	n := clusters * socketsPerCluster
+	var links []Link
+	linkLat := make(map[Link]sim.Time)
+	linkGBps := make(map[Link]float64)
+	for c := 0; c < clusters; c++ {
+		base := c * socketsPerCluster
+		for i := 0; i < socketsPerCluster; i++ {
+			for j := i + 1; j < socketsPerCluster; j++ {
+				l := Link{SocketID(base + i), SocketID(base + j)}
+				links = append(links, l)
+				linkGBps[l] = DefaultLinkGBps
+			}
+		}
+	}
+	for c := 0; c < clusters; c++ {
+		gw := SocketID(c * socketsPerCluster)
+		ngw := SocketID(((c + 1) % clusters) * socketsPerCluster)
+		if clusters == 2 && c == 1 {
+			break // a 2-cluster ring is a single link
+		}
+		l := Link{gw, ngw}
+		links = append(links, l)
+		linkLat[l] = uplinkExtra
+		linkGBps[l] = DefaultLinkGBps / 2
+	}
+	m := &Machine{
+		Name: fmt.Sprintf("hier-%dx%dx%dc",
+			clusters, socketsPerCluster, coresPerSocket),
 		ClockGHz:       2.0,
 		NSockets:       n,
 		DiesPerSocket:  1,
@@ -150,7 +291,9 @@ func Mesh(nx, ny, coresPerSocket int) *Machine {
 		SharedL3:       true,
 		IOSocket:       0,
 		Links:          links,
-		Costs:          base,
+		Costs:          scaledCosts(),
+		LinkLat:        linkLat,
+		LinkGBps:       linkGBps,
 	}
 	return m.finish()
 }

@@ -46,6 +46,12 @@ type CostParams struct {
 	DRAMRemoteHop sim.Time // extra per hop to a remote home node
 	HomeRoute     sim.Time // per-hop cost of routing a coherence transaction via the line's home node
 
+	// Coherence-mode costs (zero on the paper machines, whose RemoteBase
+	// folds the broadcast-probe cost in; nonzero on the scaled mesh/torus
+	// machines where the two coherence modes genuinely diverge).
+	SnoopPerSocket sim.Time // broadcast mode: per-remote-socket serialization of one snoop broadcast
+	DirLookup      sim.Time // directory mode: home-node directory lookup/indirection per remote transaction
+
 	// Kernel and CPU-driver software costs.
 	Trap       sim.Time // hardware trap/interrupt entry+exit (paper: ~800)
 	Syscall    sim.Time // system-call entry+exit fast path
@@ -71,8 +77,22 @@ type Machine struct {
 	Links          []Link
 	Costs          CostParams
 
-	dist [][]int      // socket-to-socket hop counts
-	next [][]SocketID // next hop on a shortest path
+	// LinkLat maps a link to extra per-crossing latency beyond the uniform
+	// RemoteHop (e.g. slower inter-cluster uplinks of a hierarchy). LinkGBps
+	// maps a link to its bandwidth; links absent from either map use the
+	// uniform defaults. Both nil on the paper machines.
+	LinkLat  map[Link]sim.Time
+	LinkGBps map[Link]float64
+
+	// Grid geometry, set by the Mesh/Torus builders: routing is then
+	// dimension-ordered (X first, then Y) instead of BFS, the deterministic
+	// XY routing of network-on-chip fabrics.
+	gridNX, gridNY int
+	gridWrap       bool
+
+	dist  [][]int      // socket-to-socket hop counts
+	next  [][]SocketID // next hop on a shortest path
+	extra []sim.Time   // per socket pair: sum of LinkLat along the route (nil when LinkLat is)
 }
 
 // finish validates the machine and computes routing tables.
@@ -94,6 +114,11 @@ func (m *Machine) finish() *Machine {
 		}
 		adj[l.A] = append(adj[l.A], l.B)
 		adj[l.B] = append(adj[l.B], l.A)
+	}
+	if m.gridNX > 0 {
+		m.finishGrid()
+		m.finishExtra()
+		return m
 	}
 	for s := 0; s < n; s++ {
 		d := make([]int, n)
@@ -129,7 +154,107 @@ func (m *Machine) finish() *Machine {
 		m.dist[s] = d
 		m.next[s] = nx
 	}
+	m.finishExtra()
 	return m
+}
+
+// finishGrid fills the routing tables of a gridNX×gridNY machine
+// analytically with dimension-ordered (XY) routing: a transaction first
+// travels along X to the destination column, then along Y. On a torus each
+// dimension wraps and the shorter direction wins, ties broken toward
+// increasing coordinates. This is the deterministic routing of
+// network-on-chip meshes, and — unlike BFS — independent of link order.
+func (m *Machine) finishGrid() {
+	nx, ny := m.gridNX, m.gridNY
+	n := m.NSockets
+	if nx*ny != n {
+		panic(fmt.Sprintf("topo: grid %dx%d does not cover %d sockets in %s", nx, ny, n, m.Name))
+	}
+	// step returns the per-dimension hop count and the first move (-1, 0, +1)
+	// from coordinate a to b in a dimension of size k.
+	step := func(a, b, k int) (int, int) {
+		if a == b {
+			return 0, 0
+		}
+		d := b - a
+		if d < 0 {
+			d = -d
+		}
+		if !m.gridWrap {
+			if b > a {
+				return d, 1
+			}
+			return d, -1
+		}
+		wrap := k - d
+		switch {
+		case d < wrap:
+			if b > a {
+				return d, 1
+			}
+			return d, -1
+		case wrap < d:
+			if b > a {
+				return wrap, -1
+			}
+			return wrap, 1
+		default: // tie: route toward increasing coordinates
+			return d, 1
+		}
+	}
+	for s := 0; s < n; s++ {
+		d := make([]int, n)
+		nxt := make([]SocketID, n)
+		sx, sy := s%nx, s/nx
+		for t := 0; t < n; t++ {
+			if t == s {
+				nxt[t] = -1
+				continue
+			}
+			tx, ty := t%nx, t/nx
+			dx, mx := step(sx, tx, nx)
+			dy, my := step(sy, ty, ny)
+			d[t] = dx + dy
+			hx, hy := sx, sy
+			if mx != 0 {
+				hx = (sx + mx + nx) % nx
+			} else {
+				hy = (sy + my + ny) % ny
+			}
+			nxt[t] = SocketID(hy*nx + hx)
+		}
+		m.dist[s] = d
+		m.next[s] = nxt
+	}
+}
+
+// finishExtra precomputes, for every socket pair, the sum of LinkLat entries
+// along the routed path. Nil (free to query) when the machine has no
+// per-link latency map.
+func (m *Machine) finishExtra() {
+	if m.LinkLat == nil {
+		return
+	}
+	n := m.NSockets
+	m.extra = make([]sim.Time, n*n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			var sum sim.Time
+			prev := SocketID(a)
+			for _, hop := range m.Route(SocketID(a), SocketID(b)) {
+				if lat, ok := m.LinkLat[Link{prev, hop}]; ok {
+					sum += lat
+				} else if lat, ok := m.LinkLat[Link{hop, prev}]; ok {
+					sum += lat
+				}
+				prev = hop
+			}
+			m.extra[a*n+b] = sum
+		}
+	}
 }
 
 // NumCores returns the total core count.
@@ -193,6 +318,33 @@ func (m *Machine) Route(a, b SocketID) []SocketID {
 	return out
 }
 
+// PathExtra returns the sum of per-link extra latencies (LinkLat) along the
+// routed path from a to b. Zero on machines without a link latency map.
+func (m *Machine) PathExtra(a, b SocketID) sim.Time {
+	if m.extra == nil || a == b {
+		return 0
+	}
+	return m.extra[int(a)*m.NSockets+int(b)]
+}
+
+// DefaultLinkGBps is the bandwidth assumed for links absent from a machine's
+// LinkGBps map (one HyperTransport-class link).
+const DefaultLinkGBps = 4.0
+
+// LinkBandwidth returns the bandwidth in GB/s of the direct link between two
+// adjacent sockets, in either key order, defaulting to DefaultLinkGBps.
+func (m *Machine) LinkBandwidth(a, b SocketID) float64 {
+	if m.LinkGBps != nil {
+		if g, ok := m.LinkGBps[Link{a, b}]; ok {
+			return g
+		}
+		if g, ok := m.LinkGBps[Link{b, a}]; ok {
+			return g
+		}
+	}
+	return DefaultLinkGBps
+}
+
 // TransferLat returns the latency of one coherence transaction that moves a
 // line (or its ownership) from core src to core dst.
 func (m *Machine) TransferLat(dst, src CoreID) sim.Time {
@@ -205,7 +357,8 @@ func (m *Machine) TransferLat(dst, src CoreID) sim.Time {
 	case m.SameSocket(dst, src):
 		return c.IntraSocket
 	default:
-		return c.RemoteBase + sim.Time(m.CoreHops(dst, src))*c.RemoteHop
+		return c.RemoteBase + sim.Time(m.CoreHops(dst, src))*c.RemoteHop +
+			m.PathExtra(m.Socket(dst), m.Socket(src))
 	}
 }
 
@@ -216,7 +369,8 @@ func (m *Machine) MemLat(c CoreID, home SocketID) sim.Time {
 	if m.SingleMemCtrl {
 		return p.DRAMLocal
 	}
-	return p.DRAMLocal + sim.Time(m.Hops(m.Socket(c), home))*p.DRAMRemoteHop
+	return p.DRAMLocal + sim.Time(m.Hops(m.Socket(c), home))*p.DRAMRemoteHop +
+		m.PathExtra(m.Socket(c), home)
 }
 
 // Cycles converts a duration in nanoseconds to cycles on this machine.

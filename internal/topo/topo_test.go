@@ -180,7 +180,7 @@ func TestCyclesNanosecondsRoundTrip(t *testing.T) {
 }
 
 func TestMeshConstruction(t *testing.T) {
-	m := Mesh(4, 4, 2)
+	m := MeshXY(4, 4, 2)
 	if m.NumCores() != 32 {
 		t.Fatalf("cores=%d, want 32", m.NumCores())
 	}
@@ -194,7 +194,7 @@ func TestMeshConstruction(t *testing.T) {
 }
 
 func TestMeshHopsAreManhattanProperty(t *testing.T) {
-	m := Mesh(5, 3, 1)
+	m := MeshXY(5, 3, 1)
 	f := func(a, b uint8) bool {
 		sa, sb := SocketID(int(a)%15), SocketID(int(b)%15)
 		ax, ay := int(sa)%5, int(sa)/5
@@ -212,6 +212,128 @@ func abs(x int) int {
 		return -x
 	}
 	return x
+}
+
+func TestScaledMachineShapes(t *testing.T) {
+	cases := []struct {
+		m       *Machine
+		cores   int
+		maxHops int
+	}{
+		{Mesh(4), 64, 6}, // 4x4 mesh: diameter 3+3
+		{Mesh(16), 1024, 30},
+		{Torus(4), 64, 4}, // wrap halves each dimension: 2+2
+		{Torus(8), 256, 8},
+		{Hier(4, 4, 4), 64, 4}, // to gateway, ≤2 ring hops, from gateway
+	}
+	for _, c := range cases {
+		if got := c.m.NumCores(); got != c.cores {
+			t.Errorf("%s: cores=%d, want %d", c.m.Name, got, c.cores)
+		}
+		if got := c.m.MaxHops(); got != c.maxHops {
+			t.Errorf("%s: maxHops=%d, want %d", c.m.Name, got, c.maxHops)
+		}
+	}
+}
+
+// Every scaled machine's routes must follow real links and match the hop
+// count — the XY tables are built analytically, so cross-check them against
+// the link list the fabric charges.
+func TestScaledRoutesFollowLinks(t *testing.T) {
+	for _, m := range []*Machine{Mesh(3), Mesh(5), Torus(3), Torus(5), Hier(3, 3, 2)} {
+		linked := map[[2]SocketID]bool{}
+		for _, l := range m.Links {
+			linked[[2]SocketID{l.A, l.B}] = true
+			linked[[2]SocketID{l.B, l.A}] = true
+		}
+		for a := 0; a < m.NSockets; a++ {
+			for b := 0; b < m.NSockets; b++ {
+				r := m.Route(SocketID(a), SocketID(b))
+				if len(r) != m.Hops(SocketID(a), SocketID(b)) {
+					t.Fatalf("%s: route %d->%d len %d, hops %d", m.Name, a, b, len(r), m.Hops(SocketID(a), SocketID(b)))
+				}
+				cur := SocketID(a)
+				for _, n := range r {
+					if !linked[[2]SocketID{cur, n}] {
+						t.Fatalf("%s: route %d->%d uses non-link %d-%d", m.Name, a, b, cur, n)
+					}
+					cur = n
+				}
+				if cur != SocketID(b) {
+					t.Fatalf("%s: route %d->%d ends at %d", m.Name, a, b, cur)
+				}
+			}
+		}
+	}
+}
+
+func TestMeshXYRoutingIsManhattan(t *testing.T) {
+	m := Mesh(5)
+	f := func(a, b uint8) bool {
+		sa, sb := SocketID(int(a)%25), SocketID(int(b)%25)
+		ax, ay := int(sa)%5, int(sa)/5
+		bx, by := int(sb)%5, int(sb)/5
+		return m.Hops(sa, sb) == abs(ax-bx)+abs(ay-by)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// Dimension order: X is resolved before Y. From (0,0) to (2,2) the first
+	// hop is (1,0) = socket 1, not (0,1) = socket 5.
+	if r := m.Route(0, 12); r[0] != 1 {
+		t.Fatalf("XY routing: first hop %d, want 1", r[0])
+	}
+}
+
+func TestTorusWrapDistances(t *testing.T) {
+	m := Torus(5)
+	// Sockets 0 (0,0) and 4 (4,0): one wrap hop, not four mesh hops.
+	if got := m.Hops(0, 4); got != 1 {
+		t.Fatalf("hops(0,4)=%d, want 1 (wrap)", got)
+	}
+	// (0,0) to (3,3): wrap both dimensions, 2+2.
+	if got := m.Hops(0, 18); got != 4 {
+		t.Fatalf("hops(0,18)=%d, want 4", got)
+	}
+	// Symmetry survives the tie-break (distance 2 either way at k=4).
+	e := Torus(4)
+	for a := 0; a < e.NSockets; a++ {
+		for b := 0; b < e.NSockets; b++ {
+			if e.Hops(SocketID(a), SocketID(b)) != e.Hops(SocketID(b), SocketID(a)) {
+				t.Fatalf("torus-4 hops(%d,%d) asymmetric", a, b)
+			}
+		}
+	}
+}
+
+func TestHierUplinkCosts(t *testing.T) {
+	m := Hier(4, 4, 4)
+	// Intra-cluster: full mesh, no extra.
+	if got := m.PathExtra(0, 1); got != 0 {
+		t.Fatalf("intra-cluster PathExtra=%d, want 0", got)
+	}
+	// Cross-cluster: at least one uplink crossing.
+	if got := m.PathExtra(0, 4); got == 0 {
+		t.Fatal("cross-cluster PathExtra=0, want uplink surcharge")
+	}
+	// The surcharge shows up in coherence and memory latencies.
+	sameCluster := m.TransferLat(0, m.CoresOf(1)[0])
+	crossCluster := m.TransferLat(0, m.CoresOf(4)[0])
+	if crossCluster <= sameCluster {
+		t.Fatalf("cross-cluster transfer %d not > intra-cluster %d", crossCluster, sameCluster)
+	}
+	// Uplinks are half bandwidth; intra-cluster links full.
+	if g := m.LinkBandwidth(0, 1); g != DefaultLinkGBps {
+		t.Fatalf("intra-cluster bandwidth %v, want %v", g, DefaultLinkGBps)
+	}
+	if g := m.LinkBandwidth(0, 4); g != DefaultLinkGBps/2 {
+		t.Fatalf("uplink bandwidth %v, want %v", g, DefaultLinkGBps/2)
+	}
+	// Paper machines: no maps, defaults everywhere.
+	p := AMD8x4()
+	if p.PathExtra(0, 7) != 0 || p.LinkBandwidth(0, 1) != DefaultLinkGBps {
+		t.Fatal("paper machine should have zero PathExtra and default bandwidth")
+	}
 }
 
 func TestCoresOf(t *testing.T) {

@@ -83,8 +83,18 @@ var (
 	AMD8x4   = topo.AMD8x4
 )
 
-// Mesh builds a synthetic scalable machine: an nx×ny socket grid.
-func Mesh(nx, ny, coresPerSocket int) *Machine { return topo.Mesh(nx, ny, coresPerSocket) }
+// Mesh builds a synthetic scalable machine: an nx×ny socket grid with the
+// paper-machine cost model.
+func Mesh(nx, ny, coresPerSocket int) *Machine { return topo.MeshXY(nx, ny, coresPerSocket) }
+
+// The scaled 64–1024-core machines: k×k meshes and tori with XY routing and
+// mode-dependent coherence costs, and clustered hierarchies with slower
+// uplinks. These are the platforms of the broadcast-vs-directory sweeps.
+var (
+	ScaledMesh  = topo.Mesh
+	ScaledTorus = topo.Torus
+	Hier        = topo.Hier
+)
 
 // AllMachines returns the paper's four test platforms.
 func AllMachines() []*Machine { return topo.AllMachines() }
